@@ -1,0 +1,25 @@
+"""Shared helpers for the per-exhibit benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures, prints
+the same rows/series the paper reports (plus paper-vs-measured checks),
+and fails if a headline check drifts outside tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import ExperimentResult, render
+
+
+def run_exhibit(benchmark, driver, **kwargs) -> ExperimentResult:
+    """Run an exhibit driver once under pytest-benchmark and report it."""
+    result = benchmark.pedantic(
+        lambda: driver(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render(result))
+    assert result.all_checks_pass(), (
+        f"{result.exhibit}: paper-vs-measured checks failed:\n" + render(result)
+    )
+    return result

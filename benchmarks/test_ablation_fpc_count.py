@@ -1,0 +1,33 @@
+"""Ablation: FPC count scaling (DESIGN.md choice §4.4.2).
+
+Each FPC processes 125 M events/s independently; different-flow traffic
+should scale with the FPC count until the scheduler's routing rate
+(one event per location-LUT partition per cycle) caps it.
+"""
+
+from repro.analysis.microbench import HeaderRateDesign, measure_header_rate
+
+
+def _sweep():
+    offered = 1.2e9  # above every configuration's capacity
+    rows = []
+    for num_fpcs in (1, 2, 4, 8):
+        design = HeaderRateDesign(f"{num_fpcs}FPC", num_fpcs=num_fpcs, coalescing=False)
+        rate = measure_header_rate(
+            design, "rr", offered, flows=48 * num_fpcs, cycles=10_000
+        )
+        rows.append((num_fpcs, rate))
+    return rows
+
+
+def test_ablation_fpc_count(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    for num_fpcs, rate in rows:
+        print(f"{num_fpcs} FPCs -> {rate / 1e6:6.0f} M events/s")
+    rates = dict(rows)
+    # Linear region: doubling FPCs ~doubles different-flow throughput.
+    assert 1.7 < rates[2] / rates[1] < 2.2
+    assert 1.7 < rates[4] / rates[2] < 2.2
+    # 8 FPCs approach the 4-events/cycle routing ceiling (1 G events/s).
+    assert rates[8] > 1.5 * rates[4]

@@ -1,0 +1,34 @@
+"""Ablation: memory-manager TCB cache size (DESIGN.md choice §4.3.1).
+
+The direct-mapped TCB cache absorbs DRAM traffic for hot flows; with a
+worst-case round-robin pattern larger than the cache, it cannot help,
+while a working set that fits turns swaps free.
+"""
+
+from repro.apps.echo import measure_dram_swap_rate
+
+
+def _sweep():
+    rows = []
+    for cache_entries, flows in ((64, 4096), (512, 4096), (4096, 4096)):
+        rate = measure_dram_swap_rate(
+            "ddr4", flows=flows, transactions=2000, cache_entries=cache_entries
+        )
+        rows.append((cache_entries, flows, rate))
+    return rows
+
+
+def test_ablation_tcb_cache(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    for cache_entries, flows, rate in rows:
+        print(
+            f"cache={cache_entries:5d} flows={flows:5d} -> "
+            f"{rate / 1e6:8.1f} M swap-transactions/s"
+        )
+    small, reference, covering = (row[2] for row in rows)
+    # A cache covering the whole working set drops the per-transaction
+    # DRAM cost from miss-path (fill + write-back + swap) to just the
+    # swap-out write; undersized caches are all equally miss-bound.
+    assert covering > 2 * reference
+    assert abs(small - reference) / reference < 0.2

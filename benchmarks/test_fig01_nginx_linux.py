@@ -1,0 +1,9 @@
+"""Figure 1: CPU utilization and performance of Nginx on Linux."""
+
+from repro.analysis.experiments import run_figure1
+
+from conftest import run_exhibit
+
+
+def test_fig01_nginx_linux(benchmark):
+    run_exhibit(benchmark, run_figure1)

@@ -1,0 +1,9 @@
+"""Figure 2: bulk throughput with and without RMW stalls (cycle sim)."""
+
+from repro.analysis.experiments import run_figure2
+
+from conftest import run_exhibit
+
+
+def test_fig02_rmw_stalls(benchmark):
+    run_exhibit(benchmark, run_figure2)

@@ -1,0 +1,9 @@
+"""Figure 7b: FtEngine resource utilization on the U280."""
+
+from repro.analysis.experiments import run_figure7
+
+from conftest import run_exhibit
+
+
+def test_fig07_resources(benchmark):
+    run_exhibit(benchmark, run_figure7)

@@ -1,0 +1,9 @@
+"""Figure 8: bulk and round-robin throughput, Linux vs F4T."""
+
+from repro.analysis.experiments import run_figure8
+
+from conftest import run_exhibit
+
+
+def test_fig08_throughput(benchmark):
+    run_exhibit(benchmark, run_figure8)

@@ -1,0 +1,9 @@
+"""Figure 9: bulk transfer across request sizes (PCIe-bound small end)."""
+
+from repro.analysis.experiments import run_figure9
+
+from conftest import run_exhibit
+
+
+def test_fig09_request_sizes(benchmark):
+    run_exhibit(benchmark, run_figure9)

@@ -1,0 +1,9 @@
+"""Figure 10: Nginx request processing rate vs flows and cores."""
+
+from repro.analysis.experiments import run_figure10
+
+from conftest import run_exhibit
+
+
+def test_fig10_nginx_rate(benchmark):
+    run_exhibit(benchmark, run_figure10, quick=True)

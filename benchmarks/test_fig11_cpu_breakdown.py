@@ -1,0 +1,9 @@
+"""Figure 11: CPU utilization breakdown of Nginx, Linux vs F4T."""
+
+from repro.analysis.experiments import run_figure11
+
+from conftest import run_exhibit
+
+
+def test_fig11_cpu_breakdown(benchmark):
+    run_exhibit(benchmark, run_figure11)

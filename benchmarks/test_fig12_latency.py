@@ -1,0 +1,9 @@
+"""Figure 12: median and 99th percentile latency of Nginx."""
+
+from repro.analysis.experiments import run_figure12
+
+from conftest import run_exhibit
+
+
+def test_fig12_latency(benchmark):
+    run_exhibit(benchmark, run_figure12)

@@ -1,0 +1,9 @@
+"""Figure 13: 128B echoing request rate vs number of flows."""
+
+from repro.analysis.experiments import run_figure13
+
+from conftest import run_exhibit
+
+
+def test_fig13_connectivity(benchmark):
+    run_exhibit(benchmark, run_figure13)

@@ -1,0 +1,9 @@
+"""Figure 14: congestion-window traces, F4T engine vs reference sim."""
+
+from repro.analysis.experiments import run_figure14
+
+from conftest import run_exhibit
+
+
+def test_fig14_cwnd(benchmark):
+    run_exhibit(benchmark, run_figure14, quick=True)

@@ -1,0 +1,9 @@
+"""Figure 15: event processing rate vs FPU processing latency."""
+
+from repro.analysis.experiments import run_figure15
+
+from conftest import run_exhibit
+
+
+def test_fig15_versatility(benchmark):
+    run_exhibit(benchmark, run_figure15)

@@ -1,0 +1,9 @@
+"""Figure 16a: header processing rate vs CPU cores, 16B vs 8B commands."""
+
+from repro.analysis.experiments import run_figure16a
+
+from conftest import run_exhibit
+
+
+def test_fig16a_header_scaling(benchmark):
+    run_exhibit(benchmark, run_figure16a)

@@ -1,0 +1,9 @@
+"""Figure 16b: header rates of Baseline / 1FPC / 1FPC-C / F4T."""
+
+from repro.analysis.experiments import run_figure16b
+
+from conftest import run_exhibit
+
+
+def test_fig16b_ablation(benchmark):
+    run_exhibit(benchmark, run_figure16b, quick=True)

@@ -1,0 +1,9 @@
+"""Table 1: summary of existing TCP implementations."""
+
+from repro.analysis.experiments import run_table1
+
+from conftest import run_exhibit
+
+
+def test_table1_summary(benchmark):
+    run_exhibit(benchmark, run_table1)

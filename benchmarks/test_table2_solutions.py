@@ -1,0 +1,9 @@
+"""Table 2: target situations of F4T's solutions, with measured evidence."""
+
+from repro.analysis.experiments import run_table2
+
+from conftest import run_exhibit
+
+
+def test_table2_solutions(benchmark):
+    run_exhibit(benchmark, run_table2, quick=True)

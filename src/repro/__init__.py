@@ -1,0 +1,29 @@
+"""F4T reproduction: a fast and flexible full-stack TCP acceleration
+framework (Boo et al., ISCA 2023), rebuilt in Python.
+
+Subpackages:
+
+* :mod:`repro.sim` — cycle-level simulation kernel (the FPGA substrate);
+* :mod:`repro.tcp` — the TCP protocol substrate;
+* :mod:`repro.engine` — FtEngine, the paper's contribution;
+* :mod:`repro.host` — the F4T software stack and the Linux baseline;
+* :mod:`repro.net` — links, frames and the fault-injecting wire;
+* :mod:`repro.apps` — the evaluation workloads;
+* :mod:`repro.refsim` — the independent reference TCP simulator;
+* :mod:`repro.analysis` — per-exhibit experiment drivers and reporting.
+
+Quick start::
+
+    from repro.engine import Testbed
+    from repro.host import F4TLibrary
+
+    testbed = Testbed()
+    pump = lambda cond, t: testbed.run(until=cond, max_time_s=testbed.now_s + t)
+    lib = F4TLibrary(testbed.engine_a, pump=pump)
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "F4T: A Fast and Flexible FPGA-based Full-stack TCP Acceleration "
+    "Framework, ISCA 2023, doi:10.1145/3579371.3589090"
+)

@@ -1,0 +1,128 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro info              # what this package is
+    python -m repro report [--quick]  # regenerate every paper exhibit
+    python -m repro demo              # the quickstart client/server run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+    from repro.engine.ftengine import FtEngineConfig
+    from repro.tcp.congestion import available_algorithms
+
+    config = FtEngineConfig()
+    print(f"repro {repro.__version__} — reproduction of:")
+    print(f"  {repro.__paper__}")
+    print()
+    print("reference design:")
+    print(f"  {config.num_fpcs} FPCs x {config.fpc_slots} flows "
+          f"({config.sram_flow_capacity} SRAM-resident), {config.memory} TCB store")
+    print(f"  congestion algorithms: {', '.join(sorted(available_algorithms()))}")
+    print()
+    print("try:  python -m repro demo")
+    print("      python -m repro report --quick")
+    print("      pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import main as report_main
+
+    argv = list(args.exhibits)
+    if args.quick:
+        argv.append("--quick")
+    if args.plots:
+        argv.append("--plots")
+    return report_main(argv)
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.engine import Testbed
+    from repro.host import F4TLibrary
+
+    testbed = Testbed()
+    pump = lambda cond, t: testbed.run(until=cond, max_time_s=testbed.now_s + t)
+    lib_a = F4TLibrary(testbed.engine_a, pump=pump)
+    lib_b = F4TLibrary(testbed.engine_b, pump=pump)
+
+    server = lib_b.socket()
+    server.bind_listen(80)
+    client = lib_a.socket()
+    client.connect((testbed.engine_b.ip, 80))
+    connection = server.accept()
+    client.sendall(b"hello from the demo")
+    print("server received:", connection.recv_exactly(19))
+    connection.sendall(b"and hello back")
+    print("client received:", client.recv_exactly(14))
+    client.close()
+    connection.close()
+    testbed.run(
+        until=lambda: not testbed.engine_a.flows and not testbed.engine_b.flows,
+        max_time_s=10.0,
+    )
+    print(f"done in {testbed.now_s * 1e6:.1f} simulated microseconds; "
+          f"{testbed.wire.bytes_sent} bytes on the wire")
+    return 0
+
+
+def _cmd_iperf(args: argparse.Namespace) -> int:
+    """Model + functional bulk measurement, iPerf style (Fig 8a/9)."""
+    from repro.apps.iperf import BulkTransferModel, run_functional_bulk
+
+    point = BulkTransferModel(cores=args.cores).request_rate(args.size)
+    print(f"modelled  : {point.goodput_gbps:6.1f} Gbps "
+          f"({point.requests_per_s / 1e6:.1f} Mrps, "
+          f"{args.size} B requests, {args.cores} cores, "
+          f"bound by {point.bottleneck})")
+    result = run_functional_bulk(
+        total_bytes=args.bytes, request_bytes=max(args.size, 64)
+    )
+    print(f"functional: {result.goodput_gbps:6.1f} Gbps moving "
+          f"{result.bytes_delivered} real bytes through the engines "
+          f"in {result.elapsed_s * 1e6:.1f} simulated us")
+    print("(the functional run is a single unpaced flow on the simulated "
+          "wire; the modelled number includes the calibrated host terms)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("info", help="package and design summary")
+    report = subparsers.add_parser("report", help="regenerate paper exhibits")
+    report.add_argument("exhibits", nargs="*", help="subset of exhibits")
+    report.add_argument("--quick", action="store_true")
+    report.add_argument("--plots", action="store_true")
+    subparsers.add_parser("demo", help="run the quickstart demo")
+    iperf = subparsers.add_parser("iperf", help="bulk-transfer measurement")
+    iperf.add_argument("--size", type=int, default=128, help="request bytes")
+    iperf.add_argument("--cores", type=int, default=2, help="CPU cores")
+    iperf.add_argument(
+        "--bytes", type=int, default=500_000, help="functional transfer size"
+    )
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "report": _cmd_report,
+        "demo": _cmd_demo,
+        "iperf": _cmd_iperf,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 0
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

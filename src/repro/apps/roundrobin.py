@@ -1,0 +1,109 @@
+"""Round-robin request workload (§5.1, Fig 8b).
+
+Each CPU core generates send requests in a round-robin manner over its
+own distinct set of 16 flows, so FtEngine receives events of *different*
+flows back to back — the multi-flow stress case that parallel FPCs
+target (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..engine.testbed import Testbed
+from ..host.calibration import F4T_CYCLES_PER_SEND_RR
+from ..host.cpu import CpuModel
+from ..host.pcie import PcieModel
+from ..net.link import LINK_100G, Link
+from .iperf import BulkResult
+
+FLOWS_PER_CORE = 16
+
+
+def run_functional_round_robin(
+    flows: int = FLOWS_PER_CORE,
+    requests_per_flow: int = 64,
+    request_bytes: int = 128,
+    testbed: Optional[Testbed] = None,
+    max_time_s: float = 1.0,
+) -> BulkResult:
+    """Drive real round-robin requests over ``flows`` connections."""
+    tb = testbed if testbed is not None else Testbed()
+    tb.engine_b.listen(80)
+    a_flows: List[int] = [tb.engine_a.connect(tb.engine_b.ip, 80) for _ in range(flows)]
+    b_flows: List[int] = []
+
+    def all_accepted() -> bool:
+        flow = tb.engine_b.accept(80)
+        if flow is not None:
+            b_flows.append(flow)
+        return len(b_flows) == flows
+
+    if not tb.run(until=all_accepted, max_time_s=max_time_s):
+        raise TimeoutError("round-robin connection setup failed")
+
+    start_s = tb.now_s
+    payload = bytes(request_bytes)
+    total = flows * requests_per_flow * request_bytes
+    sent = [0] * flows
+    received = 0
+
+    def pump() -> bool:
+        nonlocal received
+        # One request per flow per visit: round-robin order.
+        for i, flow in enumerate(a_flows):
+            if sent[i] < requests_per_flow * request_bytes:
+                sent[i] += tb.engine_a.send_data(flow, payload)
+        for flow in b_flows:
+            readable = tb.engine_b.readable(flow)
+            if readable:
+                received += len(tb.engine_b.recv_data(flow, readable))
+        return received >= total
+
+    if not tb.run(until=pump, max_time_s=start_s + max_time_s):
+        raise TimeoutError(f"round-robin transfer stalled at {received}/{total} B")
+    elapsed = max(tb.now_s - start_s, 1e-12)
+    return BulkResult(
+        goodput_gbps=received * 8 / elapsed / 1e9,
+        requests_per_s=received / request_bytes / elapsed,
+        bytes_delivered=received,
+        elapsed_s=elapsed,
+        bottleneck="functional",
+    )
+
+
+@dataclass
+class RoundRobinModel:
+    """Fig 8b's F4T curve: like bulk but with the costlier RR software path.
+
+    Under link backpressure the increased packet-generation period lets
+    events accumulate, growing packet sizes (§5.1) — so the link term is
+    byte-granular here too, and F4T converges near 90 Gbps goodput.
+    """
+
+    cores: int = 1
+    link: Link = LINK_100G
+    pcie: PcieModel = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.pcie is None:
+            self.pcie = PcieModel()
+
+    def request_rate(self, request_bytes: int, mss: int = 1460) -> BulkResult:
+        cpu = CpuModel(cores=self.cores)
+        software = cpu.rate_for(
+            F4T_CYCLES_PER_SEND_RR + 0.05 * max(0, request_bytes - 128)
+        )
+        pcie = self.pcie.max_requests_per_s(request_bytes)
+        link_goodput = self.link.max_goodput_gbps(mss) * 1e9 / 8
+        link = link_goodput / request_bytes
+        rate = min(software, pcie, link)
+        bottleneck = {software: "software", pcie: "pcie", link: "link"}[rate]
+        return BulkResult(
+            goodput_gbps=rate * request_bytes * 8 / 1e9,
+            requests_per_s=rate,
+            bytes_delivered=0,
+            elapsed_s=0.0,
+            bottleneck=bottleneck,
+        )

@@ -1,0 +1,107 @@
+"""Short-connection churn: connection setup/teardown as the workload.
+
+Datacenter RPC and HTTP traffic open and close connections constantly —
+the pattern AccelTCP built its stateless-offload case on (§2.3) and the
+reason F4T processes the full handshake and teardown in hardware.  This
+driver stresses exactly that: each transaction is connect → request →
+response → close, so the engines spend their time in SYN/FIN processing,
+flow allocation, accept-queue distribution and teardown rather than in
+the data path.
+
+Functional only (the paper reports no churn numbers to calibrate
+against): the value here is exercising flow-lifecycle machinery under
+load and measuring the reproduction's own connections/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..engine.testbed import Testbed
+from ..sim.stats import Histogram
+
+
+@dataclass
+class ChurnResult:
+    connections_completed: int
+    elapsed_s: float
+    lifecycle_latencies: Histogram  # connect -> fully closed, per connection
+
+    @property
+    def connections_per_s(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.connections_completed / self.elapsed_s
+
+
+def run_connection_churn(
+    connections: int = 10,
+    request_bytes: int = 64,
+    concurrency: int = 4,
+    testbed: Optional[Testbed] = None,
+    max_time_s: float = 30.0,
+) -> ChurnResult:
+    """Run ``connections`` short transactions, ``concurrency`` at a time.
+
+    Every transaction allocates a fresh flow (new ports, new TCB, new
+    cuckoo entries) and fully tears it down, so flow IDs, CAM slots and
+    accept queues must all recycle correctly.
+    """
+    tb = testbed if testbed is not None else Testbed()
+    tb.engine_b.listen(80)
+    request = bytes(request_bytes)
+    latencies = Histogram("lifecycle")
+    start_s = tb.now_s
+
+    # Per-slot state machine: each slot runs one transaction at a time.
+    IDLE, CONNECTING, SERVING, CLOSING = range(4)
+    slots: List[dict] = [
+        {"state": IDLE, "a_flow": None, "b_flow": None, "t0": 0.0}
+        for _ in range(min(concurrency, connections))
+    ]
+    started = 0
+    completed = 0
+    accepted_queue: List[int] = []
+
+    def pump() -> bool:
+        nonlocal started, completed
+        flow = tb.engine_b.accept(80)
+        if flow is not None:
+            accepted_queue.append(flow)
+        for slot in slots:
+            if slot["state"] == IDLE and started < connections:
+                slot["a_flow"] = tb.engine_a.connect(tb.engine_b.ip, 80)
+                slot["t0"] = tb.now_s
+                slot["state"] = CONNECTING
+                started += 1
+                tb.engine_a.send_data(slot["a_flow"], request)
+            elif slot["state"] == CONNECTING:
+                if slot["b_flow"] is None and accepted_queue:
+                    slot["b_flow"] = accepted_queue.pop(0)
+                if slot["b_flow"] is not None:
+                    readable = tb.engine_b.readable(slot["b_flow"])
+                    if readable >= request_bytes:
+                        data = tb.engine_b.recv_data(slot["b_flow"], readable)
+                        tb.engine_b.send_data(slot["b_flow"], data)  # echo
+                        slot["state"] = SERVING
+            elif slot["state"] == SERVING:
+                if tb.engine_a.readable(slot["a_flow"]) >= request_bytes:
+                    tb.engine_a.recv_data(slot["a_flow"], request_bytes)
+                    tb.engine_a.close_flow(slot["a_flow"])
+                    tb.engine_b.close_flow(slot["b_flow"])
+                    slot["state"] = CLOSING
+            elif slot["state"] == CLOSING:
+                gone_a = slot["a_flow"] not in tb.engine_a.flows
+                gone_b = slot["b_flow"] not in tb.engine_b.flows
+                if gone_a and gone_b:
+                    latencies.record(tb.now_s - slot["t0"])
+                    completed += 1
+                    slot.update(state=IDLE, a_flow=None, b_flow=None)
+        return completed >= connections
+
+    if not tb.run(until=pump, max_time_s=max_time_s):
+        raise TimeoutError(
+            f"churn stalled: {completed}/{connections} transactions"
+        )
+    return ChurnResult(completed, max(tb.now_s - start_s, 1e-12), latencies)

@@ -1,0 +1,123 @@
+"""Comparison designs: the stalling baseline and the TONIC-like design.
+
+* :class:`StallingAccelerator` (w-RMW) — models the existing
+  100 Gbps-capable FPGA stacks (Limago [44]) that keep TCP processing
+  atomic by stalling between events of the same pipeline: one event every
+  ``stall_cycles`` (17 in the paper's Fig 2/Fig 15/Fig 16b baselines).
+* :class:`SingleCycleAccelerator` (w/o-RMW) — the theoretical TONIC-like
+  design: one event per cycle at 100 MHz with *no* stalls, obtained in
+  hardware by forcing all RMW work into a single cycle (§2.5) — which is
+  what costs TONIC byte-level transfer, connectivity and versatility.
+* :class:`NullFpu` — a latency-only FPU for event-rate micro-benchmarks
+  (Figs 15, 16b) where the processing *content* is irrelevant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.component import Component
+from ..sim.fifo import Fifo
+from ..tcp.tcb import Tcb
+from .events import TcpEvent
+from .fpu import Fpu, ProcessResult
+
+
+class NullFpu(Fpu):
+    """An FPU that only models pipeline latency; used for rate studies."""
+
+    def __init__(self, latency_cycles: int) -> None:
+        super().__init__("newreno")
+        self._latency = latency_cycles
+
+    @property
+    def latency_cycles(self) -> int:
+        return self._latency
+
+    def process(self, tcb: Tcb, dup_count: int, now_s: float) -> ProcessResult:
+        self.passes += 1
+        return ProcessResult(tcb=tcb)
+
+
+class StallingAccelerator(Component):
+    """w-RMW: serialize events, stalling ``stall_cycles`` between them.
+
+    The stall keeps the read-modify-write on the TCB atomic — the
+    behaviour of Limago-class designs (§3.1).  Throughput is exactly
+    ``freq / stall_cycles`` events per second, independent of workload.
+    """
+
+    def __init__(
+        self,
+        stall_cycles: int = 17,
+        freq_hz: float = 250e6,
+        input_depth: int = 1024,
+    ) -> None:
+        super().__init__("w-rmw-baseline")
+        if stall_cycles < 1:
+            raise ValueError("stall must be at least one cycle")
+        self.stall_cycles = stall_cycles
+        self.freq_hz = freq_hz
+        self.input: Fifo[TcpEvent] = Fifo(input_depth, "baseline.in")
+        self._stall_remaining = 0
+        self.events_processed = 0
+        self.bytes_processed = 0
+
+    def offer_event(self, event: TcpEvent) -> bool:
+        return self.input.push(event)
+
+    def busy(self) -> bool:
+        return bool(self.input) or self._stall_remaining > 0
+
+    def tick(self) -> None:
+        self.cycle += 1
+        if self._stall_remaining > 0:
+            self._stall_remaining -= 1
+            return
+        event = self.input.try_pop()
+        if event is None:
+            return
+        self.events_processed += 1
+        if event.req is not None:
+            self.bytes_processed += event.req  # req carries size in rate runs
+        self._stall_remaining = self.stall_cycles - 1
+
+    def events_per_second(self) -> float:
+        if self.cycle == 0:
+            return 0.0
+        return self.events_processed * self.freq_hz / self.cycle
+
+
+class SingleCycleAccelerator(Component):
+    """w/o-RMW: one event per cycle, TONIC-style, at 100 MHz.
+
+    Unlike TONIC we let the request size be arbitrary (the Fig 2
+    w/o-RMW curve makes exactly this assumption).
+    """
+
+    def __init__(self, freq_hz: float = 100e6, input_depth: int = 1024) -> None:
+        super().__init__("wo-rmw-tonic")
+        self.freq_hz = freq_hz
+        self.input: Fifo[TcpEvent] = Fifo(input_depth, "tonic.in")
+        self.events_processed = 0
+        self.bytes_processed = 0
+
+    def offer_event(self, event: TcpEvent) -> bool:
+        return self.input.push(event)
+
+    def busy(self) -> bool:
+        return bool(self.input)
+
+    def tick(self) -> None:
+        self.cycle += 1
+        event = self.input.try_pop()
+        if event is None:
+            return
+        self.events_processed += 1
+        if event.req is not None:
+            self.bytes_processed += event.req
+
+    def events_per_second(self) -> float:
+        if self.cycle == 0:
+            return 0.0
+        return self.events_processed * self.freq_hz / self.cycle

@@ -1,0 +1,278 @@
+"""The Flow Processing Core: stall-free stateful TCP processing (§4.2).
+
+An FPC bundles:
+
+* the **event handler**, accumulating one input event every two cycles
+  into the event table (§4.2.1);
+* the **dual memory** — TCB table + event table, each written by exactly
+  one writer, with per-field valid bits (§4.2.3);
+* the **TCB manager**, constructing up-to-date TCBs and dispatching them
+  round-robin so the FPU never sees the same flow twice within its
+  pipeline depth (§4.2.2);
+* the **FPU**, the stateless pipelined processor (II = 2, latency =
+  algorithm-dependent);
+* the **evict checker**, which intercepts processed TCBs whose evict flag
+  is set and hands them to the scheduler instead of writing them back
+  (§4.3.2) — guaranteeing a TCB is never evicted with unprocessed events.
+
+The port schedule follows the paper: in one cycle the event table stores
+a handled event; in the other the TCB manager constructs and dispatches a
+TCB (and the FPU writes back a processed one).  Hence one event handled
+per two cycles — 125 M events/s at 250 MHz.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from ..sim.component import Component
+from ..sim.fifo import Fifo
+from ..sim.memory import CAM, DualPortSRAM
+from ..sim.pipeline import Pipeline
+from ..tcp.tcb import Tcb
+from .event_handler import EventEntry, EventHandler, merge_into_tcb
+from .events import TcpEvent
+from .fpu import Fpu, ProcessResult
+
+#: Reference design: 8 FPCs x 128 flows (§4.4.2).
+DEFAULT_SLOTS = 128
+DEFAULT_INPUT_DEPTH = 64
+
+
+class FlowProcessingCore(Component):
+    """One FPC; FtEngine instantiates several in parallel (§4.4.2)."""
+
+    def __init__(
+        self,
+        fpc_id: int,
+        slots: int = DEFAULT_SLOTS,
+        algorithm: str = "newreno",
+        now_fn: Optional[Callable[[], float]] = None,
+        fpu: Optional[Fpu] = None,
+    ) -> None:
+        super().__init__(f"fpc{fpc_id}")
+        self.fpc_id = fpc_id
+        self.slots = slots
+        self.now_fn = now_fn or (lambda: 0.0)
+
+        self.tcb_table: DualPortSRAM[Tcb] = DualPortSRAM(slots, f"fpc{fpc_id}.tcb")
+        self.event_table: DualPortSRAM[EventEntry] = DualPortSRAM(
+            slots, f"fpc{fpc_id}.events"
+        )
+        self.cam: CAM[int] = CAM(slots, f"fpc{fpc_id}.cam")
+        self.event_handler = EventHandler(self.event_table)
+        self.fpu = fpu if fpu is not None else Fpu(algorithm)
+        #: (slot, dup_count) travels the pipeline with the TCB snapshot.
+        self.pipe: Pipeline[Tuple[int, Tcb, int], Tuple[int, Tcb, int]] = Pipeline(
+            latency=self.fpu.latency_cycles,
+            initiation_interval=2,
+            name=f"fpc{fpc_id}.fpu-pipe",
+        )
+
+        self.input: Fifo[TcpEvent] = Fifo(DEFAULT_INPUT_DEPTH, f"fpc{fpc_id}.in")
+        self._dispatch_queue: Deque[int] = deque()  # flow ids needing the FPU
+        self._queued: Set[int] = set()
+        self._in_flight: Set[int] = set()
+        self._evict_requested: Set[int] = set()
+
+        # Per-cycle outputs drained by FtEngine.
+        self.out_results: List[ProcessResult] = []
+        self.out_evicted: List[Tcb] = []
+
+        self.events_accepted = 0
+        self.tcbs_processed = 0
+
+    # -------------------------------------------------------------- flows
+    @property
+    def flow_count(self) -> int:
+        return len(self.cam)
+
+    @property
+    def has_room(self) -> bool:
+        return not self.cam.full
+
+    def resident_flows(self) -> List[int]:
+        return self.cam.keys()
+
+    def accept_tcb(self, tcb: Tcb, entry: Optional[EventEntry] = None) -> None:
+        """Install a TCB (new flow or swap-in from DRAM, §4.3.2).
+
+        Uses the dedicated write port, so it never contends with the
+        FPU's writeback (§4.3.2).  ``entry`` carries any events that were
+        handled in the memory manager while the flow lived in DRAM.
+        """
+        slot = self.cam.insert(tcb.flow_id)
+        tcb.evict_flag = False
+        self.tcb_table.write(slot, tcb)
+        self.event_table.write(slot, entry if entry is not None else EventEntry())
+        pending = (
+            (entry is not None and entry.valid)
+            or tcb.can_send_now()
+            or tcb.cc.get("_connect_req")
+            or tcb.cc.get("_latest_ack") is not None
+            or tcb.syn_received
+            or tcb.fin_received
+            or tcb.rst_received
+        )
+        if pending:
+            self._mark_pending(tcb.flow_id)
+
+    def request_evict(self, flow_id: int) -> bool:
+        """Scheduler asks to evict ``flow_id``; sets the TCB's evict flag."""
+        slot = self.cam.try_lookup(flow_id)
+        if slot is None:
+            return False
+        tcb = self.tcb_table.read(slot)
+        tcb.evict_flag = True
+        self._evict_requested.add(flow_id)
+        # Route the flow to the FPU so the evict checker sees it soon.
+        self._mark_pending(flow_id, priority=True)
+        return True
+
+    def coldest_flow(self) -> Optional[int]:
+        """Least-recently-active resident flow eligible for eviction."""
+        best_id: Optional[int] = None
+        best_time = float("inf")
+        for flow_id in self.cam.keys():
+            if flow_id in self._in_flight or flow_id in self._evict_requested:
+                continue
+            tcb = self.tcb_table.read(self.cam.lookup(flow_id))
+            if tcb.last_active < best_time:
+                best_time = tcb.last_active
+                best_id = flow_id
+        return best_id
+
+    def peek_tcb(self, flow_id: int) -> Optional[Tcb]:
+        slot = self.cam.try_lookup(flow_id)
+        return None if slot is None else self.tcb_table.read(slot)
+
+    # -------------------------------------------------------------- queue
+    def _mark_pending(self, flow_id: int, priority: bool = False) -> None:
+        if flow_id in self._queued:
+            return
+        self._queued.add(flow_id)
+        if priority:
+            self._dispatch_queue.appendleft(flow_id)
+        else:
+            self._dispatch_queue.append(flow_id)
+
+    def offer_event(self, event: TcpEvent) -> bool:
+        """Scheduler pushes an event; False signals backpressure (§4.4.2)."""
+        return self.input.push(event)
+
+    @property
+    def backpressure(self) -> bool:
+        return len(self.input) > self.input.capacity // 2
+
+    # -------------------------------------------------------------- clock
+    def busy(self) -> bool:
+        # Hot path: direct container truthiness.
+        return bool(
+            self.input._items
+            or self._dispatch_queue
+            or self._in_flight
+            or self.out_results
+            or self.out_evicted
+        )
+
+    def tick(self) -> None:
+        self.cycle += 1
+        # Retire first so a writeback and a dispatch can share a cycle
+        # on the two BRAM ports (§4.2.3's two-cycle schedule).
+        self._retire()
+        if self.cycle % 2 == 0:
+            self._handle_one_event()
+        else:
+            self._dispatch_one()
+
+    def _handle_one_event(self) -> None:
+        event = self.input.try_pop()
+        if event is None:
+            return
+        slot = self.cam.try_lookup(event.flow_id)
+        if slot is None:
+            # The scheduler guarantees routing correctness (§4.3.2); a
+            # miss here means the flow was evicted after routing, which
+            # the moving-state protocol prevents.  Drop defensively.
+            return
+        self.event_handler.handle(slot, event)
+        self.events_accepted += 1
+        self._mark_pending(event.flow_id)
+
+    def _dispatch_one(self) -> None:
+        if not self._dispatch_queue or not self.pipe.can_issue(self.cycle):
+            return
+        # Round-robin over pending flows, skipping in-flight ones (the
+        # "distance" that prevents RMW hazards, §4.2.2).
+        for _ in range(len(self._dispatch_queue)):
+            flow_id = self._dispatch_queue.popleft()
+            if flow_id in self._in_flight:
+                self._dispatch_queue.append(flow_id)
+                continue
+            slot = self.cam.try_lookup(flow_id)
+            if slot is None:
+                self._queued.discard(flow_id)
+                continue
+            self._queued.discard(flow_id)
+            base = self.tcb_table.read(slot)
+            snapshot = base.clone()
+            entry = self.event_table.read(slot)
+            dup = merge_into_tcb(snapshot, entry) if entry is not None else 0
+            self._in_flight.add(flow_id)
+            issued = self.pipe.issue((slot, snapshot, dup), self.cycle)
+            assert issued, "TCB manager respects the FPU initiation interval"
+            return
+
+    def _retire(self) -> None:
+        for slot, tcb, dup in self.pipe.retire_ready(self.cycle):
+            result = self.fpu.process(tcb, dup, self.now_fn())
+            self.tcbs_processed += 1
+            self._in_flight.discard(tcb.flow_id)
+            self.out_results.append(result)
+            if tcb.evict_flag and tcb.flow_id in self._evict_requested:
+                # Evict checker: divert the *processed* TCB (§4.3.2) —
+                # but only once every already-routed event has been
+                # handled and processed (the scheduler's moving state
+                # blocks new routing, so the backlog is bounded).
+                entry = self.event_table.read(slot)
+                backlog = (entry is not None and entry.valid) or any(
+                    ev.flow_id == tcb.flow_id for ev in self.input
+                )
+                if backlog:
+                    self.tcb_table.write(slot, tcb)
+                    self._mark_pending(tcb.flow_id, priority=True)
+                    continue
+                self._evict_requested.discard(tcb.flow_id)
+                self.cam.remove(tcb.flow_id)
+                self.tcb_table.clear(slot)
+                self.event_table.clear(slot)
+                tcb.evict_flag = False
+                self.out_evicted.append(tcb)
+                continue
+            current_slot = self.cam.try_lookup(tcb.flow_id)
+            if current_slot is not None:
+                self.tcb_table.write(current_slot, tcb)
+                entry = self.event_table.read(current_slot)
+                if entry is not None and entry.valid:
+                    # Events accumulated while we were in the pipeline.
+                    self._mark_pending(tcb.flow_id)
+
+    def drain_results(self) -> List[ProcessResult]:
+        results, self.out_results = self.out_results, []
+        return results
+
+    def drain_evicted(self) -> List[Tcb]:
+        evicted, self.out_evicted = self.out_evicted, []
+        return evicted
+
+    def reset(self) -> None:
+        super().reset()
+        self.input.clear()
+        self._dispatch_queue.clear()
+        self._queued.clear()
+        self._in_flight.clear()
+        self._evict_requested.clear()
+        self.out_results.clear()
+        self.out_evicted.clear()
+        self.pipe.flush()

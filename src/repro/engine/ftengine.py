@@ -1,0 +1,626 @@
+"""FtEngine: the full FPGA TCP accelerator, assembled (§4.1.2, Fig 3).
+
+The engine bundles the control path (scheduler, FPCs, memory manager,
+timers), the TX data path (packet generator), the RX data path (parser
+with cuckoo flow lookup and logical reassembly), and ARP/ICMP.  It is a
+clocked component: one :meth:`tick` is one 250 MHz cycle.
+
+The host-facing API (``connect`` / ``listen`` / ``send_data`` /
+``recv_data`` / ``close_flow``) models the 16 B command interface the
+F4T library uses (§4.1.1); notifications flowing back to the software
+are queued as :class:`EngineMessage` objects that the library drains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from collections import deque
+
+from ..net.ethernet import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    make_mac,
+)
+from ..net.wire import WirePort
+from ..sim.component import Component
+from ..sim.stats import Counters
+from ..tcp.segment import FLAG_ACK, FLAG_RST, FlowKey, TcpSegment
+from ..tcp.seq import SEQ_MOD, seq_add
+from ..tcp.state_machine import TcpState
+from ..tcp.tcb import DEFAULT_BUFFER_BYTES, DEFAULT_MSS, Tcb
+from ..tcp.timers import TimerWheel
+from .arp import ArpMessage, ArpModule
+from .buffers import SendStream
+from .events import (
+    EventKind,
+    TcpEvent,
+    timeout_event,
+    user_recv_event,
+    user_send_event,
+)
+from .fpc import FlowProcessingCore
+from .fpu import NoteKind, ProcessResult, TimerOp
+from .icmp import IcmpMessage, IcmpModule
+from .memory_manager import MemoryManager
+from .rx_parser import RxParser
+from .packet_gen import PacketGenerator
+from .scheduler import Scheduler
+from ..sim.memory import DRAMModel
+
+#: FtEngine's main clock (§4.1): control path at 250 MHz.
+ENGINE_FREQ_HZ = 250e6
+ENGINE_PERIOD_PS = 1e12 / ENGINE_FREQ_HZ
+
+
+@dataclass
+class FtEngineConfig:
+    """Reference design parameters (§4.4.2, §4.7)."""
+
+    num_fpcs: int = 8
+    fpc_slots: int = 128
+    algorithm: str = "newreno"
+    #: 'hbm' (460 GB/s) or 'ddr4' (38 GB/s) for the TCB store (§4.7).
+    memory: str = "hbm"
+    coalescing: bool = True
+    mss: int = DEFAULT_MSS
+    send_buffer: int = DEFAULT_BUFFER_BYTES
+    recv_buffer: int = DEFAULT_BUFFER_BYTES
+    tcb_cache_entries: int = 512
+
+    @property
+    def sram_flow_capacity(self) -> int:
+        return self.num_fpcs * self.fpc_slots
+
+
+@dataclass
+class EngineMessage:
+    """A command FtEngine sends up to the software stack (§4.1.1)."""
+
+    kind: str  # 'acked' | 'connected' | 'accepted' | 'data' | 'eof' | 'closed' | 'reset'
+    flow_id: int
+    value: int = 0
+
+
+@dataclass
+class _FlowRecord:
+    """Engine-side per-flow metadata outside the TCB."""
+
+    key: FlowKey
+    stream: SendStream
+    listen_port: Optional[int] = None  # set for passively opened flows
+    closed: bool = False
+
+
+class FtEngine(Component):
+    """One FtEngine instance attached to one wire port."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        ip: int,
+        config: Optional[FtEngineConfig] = None,
+        port: Optional[WirePort] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        node_id = next(self._ids)
+        super().__init__(name or f"ftengine{node_id}")
+        self.ip = ip
+        self.mac = make_mac(node_id)
+        self.config = config or FtEngineConfig()
+        self.port = port
+
+        dram = DRAMModel.hbm() if self.config.memory == "hbm" else DRAMModel.ddr4()
+        self.dram = dram
+        self.memory_manager = MemoryManager(
+            dram,
+            cache_entries=self.config.tcb_cache_entries,
+            time_ps_fn=lambda: self.time_ps,
+        )
+        self.fpcs = [
+            FlowProcessingCore(
+                i,
+                slots=self.config.fpc_slots,
+                algorithm=self.config.algorithm,
+                now_fn=lambda: self.now_s,
+            )
+            for i in range(self.config.num_fpcs)
+        ]
+        self.scheduler = Scheduler(
+            self.fpcs, self.memory_manager, coalescing=self.config.coalescing
+        )
+        self.timers = TimerWheel()
+        self.arp = ArpModule(self.mac, ip)
+        self.icmp = IcmpModule(ip)
+        self.rx_parser = RxParser(
+            now_fn=lambda: self.now_s,
+            passive_open=self._passive_open,
+            recv_buffer_bytes=self.config.recv_buffer,
+        )
+        self.packet_gen = PacketGenerator(
+            key_of_flow=self._key_of_flow,
+            stream_of_flow=self._stream_of_flow,
+        )
+
+        self.flows: Dict[int, _FlowRecord] = {}
+        #: port -> per-thread accept queues (SO_REUSEPORT, §4.6).
+        self.listening: Dict[int, Dict[int, Deque[int]]] = {}
+        self._next_flow_id = 0
+        self._next_ephemeral_port = 40000
+
+        #: Events that could not enter the scheduler yet (backpressure).
+        self._event_backlog: Deque[TcpEvent] = deque()
+        #: Per-thread message queues: receive-side scaling keeps all of
+        #: a flow's commands on one queue for cache locality (§4.6).
+        self.host_messages: Dict[int, Deque[EngineMessage]] = {0: deque()}
+        self._flow_thread: Dict[int, int] = {}
+        self._accept_rr: Dict[int, int] = {}  # per-port round-robin index
+
+        self.counters = Counters()
+
+    # ------------------------------------------------------------- threads
+    def register_thread(self, thread_id: int) -> None:
+        """Attach an application thread (its own queues, §4.6)."""
+        self.host_messages.setdefault(thread_id, deque())
+        for queues in self.listening.values():
+            queues.setdefault(thread_id, deque())
+
+    @property
+    def registered_threads(self) -> List[int]:
+        return sorted(self.host_messages)
+
+    def thread_of_flow(self, flow_id: int) -> int:
+        return self._flow_thread.get(flow_id, 0)
+
+    def _assign_flow_to_thread(self, flow_id: int, thread_id: int) -> None:
+        self._flow_thread[flow_id] = thread_id
+
+    # ---------------------------------------------------------------- time
+    @property
+    def time_ps(self) -> float:
+        return self.cycle * ENGINE_PERIOD_PS
+
+    @property
+    def now_s(self) -> float:
+        return self.time_ps / 1e12
+
+    # ------------------------------------------------------------ flow API
+    def _alloc_flow_id(self) -> int:
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        return flow_id
+
+    def _initial_seq(self, flow_id: int) -> int:
+        # Deterministic ISS placed near the wrap point now and then so
+        # sequence-wrap paths get continuous exercise.
+        return (0xFFFF8000 + flow_id * 99991) % SEQ_MOD
+
+    def _key_of_flow(self, flow_id: int) -> Optional[FlowKey]:
+        record = self.flows.get(flow_id)
+        return None if record is None else record.key
+
+    def _stream_of_flow(self, flow_id: int) -> Optional[SendStream]:
+        record = self.flows.get(flow_id)
+        return None if record is None else record.stream
+
+    def _create_flow(self, key: FlowKey, listen_port: Optional[int] = None) -> int:
+        flow_id = self._alloc_flow_id()
+        iss = self._initial_seq(flow_id)
+        tcb = Tcb(
+            flow_id=flow_id,
+            key=key,
+            iss=iss,
+            req=iss,  # nothing requested yet; the SYN consumes iss itself
+            snd_una=iss,
+            snd_nxt=iss,
+            mss=self.config.mss,
+            send_buf=self.config.send_buffer,
+            rcv_buf=self.config.recv_buffer,
+            last_active=self.now_s,
+        )
+        self.flows[flow_id] = _FlowRecord(
+            key=key,
+            stream=SendStream(seq_add(iss, 1), self.config.send_buffer),
+            listen_port=listen_port,
+        )
+        self.rx_parser.register_flow(key, flow_id, rcv_nxt=0)
+        self.scheduler.register_new_flow(tcb)
+        self.counters.add("flows_created")
+        return flow_id
+
+    def connect(
+        self,
+        dst_ip: int,
+        dst_port: int,
+        src_port: Optional[int] = None,
+        thread_id: int = 0,
+    ) -> int:
+        """Active open; returns the flow ID immediately (SYN in flight)."""
+        if src_port is None:
+            src_port = self._next_ephemeral_port
+            self._next_ephemeral_port += 1
+        key = FlowKey(self.ip, src_port, dst_ip, dst_port)
+        flow_id = self._create_flow(key)
+        self._assign_flow_to_thread(flow_id, thread_id)
+        self._submit(
+            TcpEvent(
+                EventKind.USER_REQ, flow_id, connect=True, timestamp=self.now_s
+            )
+        )
+        return flow_id
+
+    def listen(self, port: int) -> None:
+        """Open a passive listening port with per-thread accept queues."""
+        queues = self.listening.setdefault(port, {})
+        for thread_id in self.registered_threads:
+            queues.setdefault(thread_id, deque())
+
+    def accept(self, port: int, thread_id: int = 0) -> Optional[int]:
+        """Pop an established connection from this thread's accept queue.
+
+        SO_REUSEPORT semantics (§4.6): new connections are distributed
+        evenly across the registered threads' queues.
+        """
+        queues = self.listening.get(port)
+        if not queues:
+            return None
+        queue = queues.get(thread_id)
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def _passive_open(self, segment: TcpSegment) -> Optional[int]:
+        """RX-parser callback: a SYN arrived for a port we listen on."""
+        if segment.dst_ip != self.ip or segment.dst_port not in self.listening:
+            return None
+        key = segment.flow_key.reversed()  # local view: we are the source
+        flow_id = self._create_flow(key, listen_port=segment.dst_port)
+        self.counters.add("passive_opens")
+        return flow_id
+
+    # --------------------------------------------------------- socket data
+    def send_data(self, flow_id: int, data: bytes) -> int:
+        """Buffer ``data`` and submit the new request pointer (§4.2.1).
+
+        Returns the number of bytes accepted (bounded by buffer room);
+        the library implements blocking/EAGAIN on top of this.
+        """
+        record = self.flows.get(flow_id)
+        if record is None:
+            raise KeyError(f"unknown flow {flow_id}")
+        accept = min(len(data), record.stream.room)
+        if accept == 0:
+            return 0
+        pointer = record.stream.append(data[:accept])
+        self._submit(user_send_event(flow_id, pointer, self.now_s))
+        self.counters.add("send_requests")
+        return accept
+
+    def readable(self, flow_id: int) -> int:
+        return self.rx_parser.readable(flow_id)
+
+    def recv_data(self, flow_id: int, nbytes: int) -> bytes:
+        """Read reassembled in-order data; advances the rcv_user pointer."""
+        data = self.rx_parser.read(flow_id, nbytes)
+        if data:
+            state = self.rx_parser.rx_states.get(flow_id)
+            # rcv_user = rcv_nxt - still-readable: everything consumed.
+            if state is not None:
+                consumed_upto = seq_add(
+                    state.reassembly.rcv_nxt, -state.reassembly.readable
+                )
+                self._submit(
+                    user_recv_event(flow_id, consumed_upto, self.now_s)
+                )
+            self.counters.add("recv_calls")
+        return data
+
+    def close_flow(self, flow_id: int) -> None:
+        record = self.flows.get(flow_id)
+        if record is None or record.closed:
+            return
+        self._submit(
+            TcpEvent(
+                EventKind.USER_REQ, flow_id, close=True, timestamp=self.now_s
+            )
+        )
+        self.counters.add("close_requests")
+
+    def tcb_of(self, flow_id: int) -> Optional[Tcb]:
+        """Debug/verification view of a flow's current TCB."""
+        for fpc in self.fpcs:
+            tcb = fpc.peek_tcb(flow_id)
+            if tcb is not None:
+                return tcb
+        return self.memory_manager.peek_tcb(flow_id)
+
+    def flow_state(self, flow_id: int) -> Optional[TcpState]:
+        tcb = self.tcb_of(flow_id)
+        return None if tcb is None else tcb.state
+
+    # ------------------------------------------------------------- events
+    def _submit(self, event: TcpEvent) -> None:
+        if self._event_backlog or not self.scheduler.submit(event):
+            self._event_backlog.append(event)
+
+    def _drain_backlog(self) -> None:
+        while self._event_backlog:
+            if not self.scheduler.submit(self._event_backlog[0]):
+                break
+            self._event_backlog.popleft()
+
+    # ---------------------------------------------------------------- tick
+    def busy(self) -> bool:
+        return bool(
+            self._event_backlog
+            or self.scheduler.busy()
+            or self.memory_manager.busy()
+            or any(fpc.busy() for fpc in self.fpcs)
+            or self.rx_parser.notifications
+        )
+
+    def next_wakeup_ps(self) -> Optional[float]:
+        """Earliest future time this engine must run (timer deadline)."""
+        deadline_s = self.timers.next_deadline()
+        return None if deadline_s is None else deadline_s * 1e12
+
+    def tick(self) -> None:
+        self.cycle += 1
+        self._expire_timers()
+        if self._event_backlog:
+            self._drain_backlog()
+        self._poll_wire()
+        if self.scheduler.busy():
+            self.scheduler.tick()
+        else:
+            self.scheduler.cycle += 1  # keep cycle-based retries aligned
+        if self.memory_manager.busy():
+            self.memory_manager.tick()
+        for fpc in self.fpcs:
+            # Idle FPCs would only bump their cycle counter; do exactly
+            # that without the full tick (hot-loop fast path).
+            if fpc.busy():
+                fpc.tick()
+                if fpc.out_results or fpc.out_evicted:
+                    self._drain_one_fpc(fpc)
+            else:
+                fpc.cycle += 1
+        if self.rx_parser.notifications:
+            self._drain_rx_notifications()
+
+    def _drain_one_fpc(self, fpc) -> None:
+        for result in fpc.drain_results():
+            self._apply_result(result)
+        if fpc.out_evicted:
+            # Evicted TCBs are collected by the scheduler next tick;
+            # nothing to do here (they stay queued on the FPC).
+            pass
+
+    def _expire_timers(self) -> None:
+        if self.timers.earliest_hint > self.now_s:
+            return
+        for flow_id in self.timers.expire(self.now_s):
+            if flow_id in self.flows:
+                self._submit(timeout_event(flow_id, self.now_s))
+                self.counters.add("timeouts_fired")
+
+    def _poll_wire(self) -> None:
+        if self.port is None:
+            return
+        for frame in self.port.poll(self.time_ps):
+            self._handle_frame(frame)
+
+    def _handle_frame(self, frame: EthernetFrame) -> None:
+        if frame.ethertype == ETHERTYPE_ARP:
+            reply, released = self.arp.handle(frame.payload)
+            if reply is not None:
+                self.port.send(reply, self.time_ps)
+            for dst_mac, packet in released:
+                self._send_ipv4(packet, dst_mac)
+            return
+        payload = frame.payload
+        if isinstance(payload, IcmpMessage):
+            reply = self.icmp.handle(payload)
+            if reply is not None:
+                self._transmit_ip(reply, reply.dst_ip)
+            return
+        if isinstance(payload, (bytes, bytearray)):
+            try:
+                payload = TcpSegment.from_bytes(bytes(payload))
+            except ValueError:
+                # Corrupted or malformed on the wire: checksum rejected.
+                self.counters.add("packets_corrupt_dropped")
+                return
+        self.counters.add("packets_received")
+        event = self.rx_parser.parse(payload)
+        if event is not None:
+            self._submit(event)
+        elif not payload.rst:
+            # No flow owns this segment and no listener wants it:
+            # answer with RST (RFC 793) so the sender learns immediately
+            # (connection refused) instead of retrying into silence.
+            self._send_rst_for(payload)
+
+    def _send_rst_for(self, segment: TcpSegment) -> None:
+        if segment.has_ack:
+            rst = TcpSegment(
+                src_ip=segment.dst_ip, dst_ip=segment.src_ip,
+                src_port=segment.dst_port, dst_port=segment.src_port,
+                seq=segment.ack, flags=FLAG_RST, window=0,
+            )
+        else:
+            rst = TcpSegment(
+                src_ip=segment.dst_ip, dst_ip=segment.src_ip,
+                src_port=segment.dst_port, dst_port=segment.src_port,
+                seq=0,
+                ack=seq_add(segment.seq, segment.seq_space),
+                flags=FLAG_RST | FLAG_ACK,
+                window=0,
+            )
+        self.counters.add("rsts_sent")
+        self._transmit_ip(rst, rst.dst_ip)
+
+    def _apply_result(self, result: ProcessResult) -> None:
+        tcb = result.tcb
+        if result.timer is TimerOp.ARM:
+            self.timers.arm(tcb.flow_id, result.timer_deadline)
+        elif result.timer is TimerOp.CANCEL:
+            self.timers.cancel(tcb.flow_id)
+
+        # Directives first: a CLOSED notification tears the flow down,
+        # and the final ACK must still make it out.
+        mss = tcb.mss or self.config.mss
+        sack_blocks = None
+        rx_state = self.rx_parser.rx_states.get(tcb.flow_id)
+        if rx_state is not None and rx_state.reassembly.out_of_order_chunks:
+            # RFC 2018: advertise our out-of-order holdings so the peer
+            # retransmits only the holes.
+            sack_blocks = rx_state.reassembly.chunk_boundaries()[:3]
+        for directive in result.directives:
+            for segment in self.packet_gen.generate(directive, mss, sack_blocks):
+                self._transmit_segment(segment)
+                self.counters.add("packets_sent")
+                if directive.retransmission:
+                    self.counters.add("retransmissions")
+
+        for note in result.notifications:
+            self._apply_notification(note.kind, note.flow_id, note.value)
+
+    def _post_message(self, kind: str, flow_id: int, value: int = 0) -> None:
+        """Queue a message on the flow's thread (receive-side scaling)."""
+        thread_id = self._flow_thread.get(flow_id, 0)
+        queue = self.host_messages.get(thread_id)
+        if queue is None:
+            queue = self.host_messages[0]
+        queue.append(EngineMessage(kind, flow_id, value))
+
+    def _apply_notification(self, kind: NoteKind, flow_id: int, value: int) -> None:
+        record = self.flows.get(flow_id)
+        if kind is NoteKind.ACKED:
+            if record is not None:
+                record.stream.release(value)
+            self._post_message("acked", flow_id, value)
+        elif kind is NoteKind.CONNECTED:
+            self._post_message("connected", flow_id)
+        elif kind is NoteKind.ACCEPTED:
+            if record is not None and record.listen_port is not None:
+                # SO_REUSEPORT: distribute new flows evenly over the
+                # registered threads' accept queues (§4.6).
+                threads = self.registered_threads
+                index = self._accept_rr.get(record.listen_port, 0)
+                thread_id = threads[index % len(threads)]
+                self._accept_rr[record.listen_port] = index + 1
+                self._assign_flow_to_thread(flow_id, thread_id)
+                self.listening[record.listen_port].setdefault(
+                    thread_id, deque()
+                ).append(flow_id)
+            self._post_message("accepted", flow_id)
+            self.counters.add("connections_accepted")
+        elif kind is NoteKind.PEER_FIN:
+            self._post_message("eof", flow_id, value)
+        elif kind is NoteKind.CLOSED:
+            self._post_message("closed", flow_id)
+            self._teardown_flow(flow_id)
+        elif kind is NoteKind.RESET:
+            self._post_message("reset", flow_id)
+            self._teardown_flow(flow_id)
+
+    def _teardown_flow(self, flow_id: int) -> None:
+        record = self.flows.get(flow_id)
+        if record is None or record.closed:
+            return
+        record.closed = True
+        self.timers.cancel(flow_id)
+        self.scheduler.deregister_flow(flow_id)
+        self.rx_parser.deregister_flow(record.key, flow_id)
+        del self.flows[flow_id]
+        self._flow_thread.pop(flow_id, None)
+        self.counters.add("flows_closed")
+
+    def _drain_rx_notifications(self) -> None:
+        for note in self.rx_parser.drain_notifications():
+            kind = "eof" if note.eof else "data"
+            self._post_message(kind, note.flow_id, note.readable_pointer)
+
+    # ------------------------------------------------------------ transmit
+    def _transmit_segment(self, segment: TcpSegment) -> None:
+        self._transmit_ip(segment, segment.dst_ip)
+
+    def _transmit_ip(self, packet, dst_ip: int) -> None:
+        if self.port is None:
+            return
+        dst_mac = self.arp.resolve(dst_ip)
+        if dst_mac is None:
+            request = self.arp.queue_until_resolved(dst_ip, packet, self.now_s)
+            if request is not None:
+                self.port.send(request, self.time_ps)
+            return
+        self._send_ipv4(packet, dst_mac)
+
+    def _send_ipv4(self, packet, dst_mac: int) -> None:
+        frame = EthernetFrame(
+            src_mac=self.mac,
+            dst_mac=dst_mac,
+            ethertype=ETHERTYPE_IPV4,
+            payload=packet,
+        )
+        self.port.send(frame, self.time_ps)
+
+    # ---------------------------------------------------------- statistics
+    def stats_report(self) -> Dict[str, object]:
+        """Aggregate statistics from every module, for dashboards/demos."""
+        return {
+            "engine": self.counters.as_dict(),
+            "scheduler": {
+                "events_submitted": self.scheduler.events_submitted,
+                "events_coalesced": self.scheduler.events_coalesced,
+                "events_routed": self.scheduler.events_routed,
+                "evictions": self.scheduler.evictions,
+                "swap_ins": self.scheduler.swap_ins,
+                "pending_retries": self.scheduler.pending_retries,
+            },
+            "fpcs": {
+                fpc.name: {
+                    "flows": fpc.flow_count,
+                    "events_accepted": fpc.events_accepted,
+                    "tcbs_processed": fpc.tcbs_processed,
+                }
+                for fpc in self.fpcs
+            },
+            "memory_manager": {
+                "flows": self.memory_manager.flow_count,
+                "events_handled": self.memory_manager.events_handled,
+                "cache_hits": self.memory_manager.cache_hits,
+                "cache_misses": self.memory_manager.cache_misses,
+                "dram_bytes": self.dram.bytes_transferred,
+            },
+            "rx_parser": {
+                "packets_parsed": self.rx_parser.packets_parsed,
+                "out_of_order": self.rx_parser.out_of_order_packets,
+                "dup_acks": self.rx_parser.dup_acks_detected,
+                "dropped_no_flow": self.rx_parser.packets_dropped_no_flow,
+            },
+            "packet_generator": {
+                "packets": self.packet_gen.packets_generated,
+                "bytes": self.packet_gen.bytes_generated,
+                "mss_splits": self.packet_gen.splits,
+            },
+            "arp": {
+                "requests_sent": self.arp.requests_sent,
+                "replies_sent": self.arp.replies_sent,
+            },
+        }
+
+    # ------------------------------------------------------------ host I/O
+    def drain_host_messages(self, thread_id: int = 0) -> List[EngineMessage]:
+        """Drain one thread's completion messages (per-thread queues, §4.6)."""
+        queue = self.host_messages.get(thread_id)
+        if queue is None:
+            return []
+        messages = list(queue)
+        queue.clear()
+        return messages

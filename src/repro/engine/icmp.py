@@ -1,0 +1,57 @@
+"""ICMP (RFC 792): diagnostics such as ping (§4.1.2).
+
+FtEngine answers echo requests in hardware so operators can ping the
+accelerated host.  Only echo request/reply are modelled; they are what
+the paper names ICMP for.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class IcmpType(enum.Enum):
+    ECHO_REPLY = 0
+    ECHO_REQUEST = 8
+
+
+@dataclass
+class IcmpMessage:
+    icmp_type: IcmpType
+    src_ip: int
+    dst_ip: int
+    identifier: int = 0
+    sequence: int = 0
+    payload: bytes = b""
+
+    def __len__(self) -> int:
+        return 8 + len(self.payload)  # ICMP header + data
+
+
+class IcmpModule:
+    """Echo responder for one engine."""
+
+    def __init__(self, my_ip: int) -> None:
+        self.my_ip = my_ip
+        self.requests_answered = 0
+        self.replies_received = 0
+
+    def handle(self, message: IcmpMessage) -> Optional[IcmpMessage]:
+        """Answer echo requests addressed to us; record replies."""
+        if message.dst_ip != self.my_ip:
+            return None
+        if message.icmp_type is IcmpType.ECHO_REQUEST:
+            self.requests_answered += 1
+            return IcmpMessage(
+                IcmpType.ECHO_REPLY,
+                src_ip=self.my_ip,
+                dst_ip=message.src_ip,
+                identifier=message.identifier,
+                sequence=message.sequence,
+                payload=message.payload,
+            )
+        if message.icmp_type is IcmpType.ECHO_REPLY:
+            self.replies_received += 1
+        return None

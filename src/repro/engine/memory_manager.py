@@ -1,0 +1,168 @@
+"""The memory manager: DRAM-resident TCBs, TCB cache and check logic.
+
+To support 64K flows, TCBs that do not fit in the FPCs' SRAM live in
+on-board DRAM (§4.3.1).  Events routed to DRAM are *handled* — written
+into the flow's event entry exactly like the FPC's event handler would —
+but never processed; when the check logic determines the flow could now
+send a packet, it signals the scheduler to swap the TCB into an FPC.
+
+A direct-mapped TCB cache in front of the DRAM absorbs accesses to hot
+flows; misses pay the DRAM channel occupancy that throttles Fig 13's
+DRAM curve past 1024 flows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.component import Component
+from ..sim.fifo import Fifo
+from ..sim.memory import DRAMModel
+from ..tcp.tcb import TCB_SIZE_BYTES, Tcb
+from .event_handler import EventEntry, accumulate_event, copy_entry, merge_into_tcb
+from .events import TcpEvent
+
+DEFAULT_CACHE_ENTRIES = 512
+DEFAULT_INPUT_DEPTH = 256
+
+
+class MemoryManager(Component):
+    """Handles events for DRAM-resident flows and feeds swap-in requests."""
+
+    def __init__(
+        self,
+        dram: DRAMModel,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        time_ps_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__("memory-manager")
+        self.dram = dram
+        self.cache_entries = cache_entries
+        # Fall back to the component's own 250 MHz cycle clock when no
+        # engine-level time source is wired in (standalone use).
+        self.time_ps_fn = time_ps_fn or (lambda: self.cycle * 4000.0)
+
+        #: Functional home of DRAM-resident state: flow -> (TCB, events).
+        self._resident: Dict[int, Tuple[Tcb, EventEntry]] = {}
+        #: Direct-mapped cache: set index -> flow id currently cached.
+        self._cache: List[Optional[int]] = [None] * cache_entries
+
+        self.input: Fifo[TcpEvent] = Fifo(DEFAULT_INPUT_DEPTH, "memmgr.in")
+        #: Check-logic output: flows that can now send (§4.3.1).
+        self.swap_in_requests: List[int] = []
+        self._swap_in_pending: set = set()
+
+        self.events_handled = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------- stores
+    def __contains__(self, flow_id: int) -> bool:
+        return flow_id in self._resident
+
+    @property
+    def flow_count(self) -> int:
+        return len(self._resident)
+
+    def store(self, tcb: Tcb, entry: Optional[EventEntry] = None) -> None:
+        """Accept an evicted TCB from an FPC (swap-out completes here)."""
+        self._resident[tcb.flow_id] = (tcb, entry if entry is not None else EventEntry())
+        self._touch_cache(tcb.flow_id, write=True)
+        self._swap_in_pending.discard(tcb.flow_id)
+
+    def take(self, flow_id: int) -> Tuple[Tcb, EventEntry]:
+        """Remove and return a flow's state for swap-in to an FPC."""
+        if flow_id not in self._resident:
+            raise KeyError(f"flow {flow_id} is not DRAM-resident")
+        self._charge_dram(read=True, flow_id=flow_id, evicting=True)
+        self._swap_in_pending.discard(flow_id)
+        return self._resident.pop(flow_id)
+
+    def peek_tcb(self, flow_id: int) -> Optional[Tcb]:
+        pair = self._resident.get(flow_id)
+        return None if pair is None else pair[0]
+
+    # -------------------------------------------------------------- cache
+    def _cache_index(self, flow_id: int) -> int:
+        return flow_id % self.cache_entries
+
+    def _touch_cache(self, flow_id: int, write: bool = False) -> bool:
+        """Access the TCB through the cache; returns True on a hit.
+
+        A miss charges the DRAM channel for a TCB read (plus the dirty
+        write-back of the displaced line); a hit is free — that is the
+        whole point of the cache (§4.3.1).
+        """
+        index = self._cache_index(flow_id)
+        if self._cache[index] == flow_id:
+            self.cache_hits += 1
+            return True
+        self.cache_misses += 1
+        now_ps = self.time_ps_fn()
+        if self._cache[index] is not None:
+            self.dram.transfer(TCB_SIZE_BYTES, now_ps)  # dirty write-back
+        self.dram.transfer(TCB_SIZE_BYTES, now_ps)  # line fill
+        self._cache[index] = flow_id
+        return False
+
+    def _charge_dram(self, read: bool, flow_id: int, evicting: bool = False) -> None:
+        index = self._cache_index(flow_id)
+        now_ps = self.time_ps_fn()
+        if self._cache[index] == flow_id:
+            if evicting:
+                self._cache[index] = None
+            return
+        self.dram.transfer(TCB_SIZE_BYTES, now_ps)
+
+    # -------------------------------------------------------------- input
+    def offer_event(self, event: TcpEvent) -> bool:
+        return self.input.push(event)
+
+    @property
+    def backpressure(self) -> bool:
+        return len(self.input) > self.input.capacity // 2
+
+    def busy(self) -> bool:
+        return bool(self.input or self.swap_in_requests)
+
+    def tick(self) -> None:
+        self.cycle += 1
+        # The DRAM channel gates throughput: while it is busy we stall,
+        # which is exactly the Fig 13 bottleneck.
+        if self.dram.busy_until_ps > self.time_ps_fn():
+            return
+        event = self.input.try_pop()
+        if event is None:
+            return
+        self.handle_event(event)
+
+    def handle_event(self, event: TcpEvent) -> None:
+        """Handle (accumulate) one event against the DRAM-resident TCB."""
+        pair = self._resident.get(event.flow_id)
+        if pair is None:
+            return  # flow migrated away after routing; scheduler retries
+        tcb, entry = pair
+        self._touch_cache(event.flow_id)
+        accumulate_event(entry, event)
+        self.events_handled += 1
+        # Check logic: would this flow emit a packet if processed?  It
+        # merges a *copy* — it must not process or write back (§4.3.1).
+        probe = tcb.clone()
+        merge_into_tcb(probe, copy_entry(entry))
+        needs_processing = (
+            probe.can_send_now()
+            or probe.cc.get("_connect_req")
+            or probe.cc.get("_latest_ack") is not None
+            # Connection control must also be processed in an FPC:
+            # SYN/SYN-ACK replies, FIN progress, RST teardown.
+            or probe.syn_received
+            or probe.fin_received
+            or probe.rst_received
+        )
+        if needs_processing and event.flow_id not in self._swap_in_pending:
+            self._swap_in_pending.add(event.flow_id)
+            self.swap_in_requests.append(event.flow_id)
+
+    def drain_swap_in_requests(self) -> List[int]:
+        requests, self.swap_in_requests = self.swap_in_requests, []
+        return requests

@@ -1,0 +1,105 @@
+"""The packet generator: FtEngine's TX data path (§4.1.2).
+
+The generator is passive — it builds packets only when an FPC requests a
+transfer.  It generates TCP/IP headers from the directive, fetches the
+payload from the flow's TCP data buffer, and splits requests larger than
+the maximum segment size into multiple segments.  It is stateless and
+pipelinable, which is why parallelizing it for more FPCs is easy
+(§4.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..tcp.options import WINDOW_SCALE
+from ..tcp.segment import FLAG_ACK, FLAG_FIN, FLAG_PSH, FLAG_SYN, FlowKey, TcpSegment
+from ..tcp.seq import seq_add
+from .buffers import SendStream
+from .fpu import TxDirective
+
+
+class PacketGenerator:
+    """Builds wire segments from FPC transmit directives."""
+
+    def __init__(
+        self,
+        key_of_flow: Callable[[int], Optional[FlowKey]],
+        stream_of_flow: Callable[[int], Optional[SendStream]],
+    ) -> None:
+        self._key_of_flow = key_of_flow
+        self._stream_of_flow = stream_of_flow
+        self.packets_generated = 0
+        self.bytes_generated = 0
+        self.splits = 0
+
+    def generate(
+        self,
+        directive: TxDirective,
+        mss: int,
+        sack_blocks=None,
+    ) -> List[TcpSegment]:
+        """Expand one directive into one or more segments.
+
+        ``sack_blocks`` — the receiver's out-of-order holdings — are
+        attached to ACK-bearing segments (RFC 2018) so the peer can
+        retransmit only the holes.
+        """
+        key = self._key_of_flow(directive.flow_id)
+        if key is None:
+            return []  # flow torn down after the FPU pass; nothing to send
+        segments: List[TcpSegment] = []
+        if sack_blocks and directive.flags & FLAG_ACK and not directive.flags & FLAG_SYN:
+            if directive.options is None:
+                from ..tcp.options import TcpOptions
+
+                directive.options = TcpOptions()
+            directive.options.sack_blocks = list(sack_blocks)
+
+        if directive.length == 0:
+            segments.append(self._bare_segment(key, directive, directive.seq))
+        else:
+            stream = self._stream_of_flow(directive.flow_id)
+            if stream is None:
+                return []
+            remaining = directive.length
+            seq = directive.seq
+            while remaining > 0:
+                take = min(remaining, mss)
+                payload = stream.fetch(seq, take)
+                segment = self._bare_segment(key, directive, seq)
+                segment.payload = payload
+                # PSH only on the final segment of the request.
+                if remaining > take:
+                    segment.flags &= ~FLAG_PSH
+                    self.splits += 1
+                segments.append(segment)
+                seq = seq_add(seq, take)
+                remaining -= take
+
+        self.packets_generated += len(segments)
+        self.bytes_generated += sum(len(s.payload) for s in segments)
+        return segments
+
+    def _bare_segment(
+        self, key: FlowKey, directive: TxDirective, seq: int
+    ) -> TcpSegment:
+        # RFC 7323: the window on a SYN is never scaled; afterwards the
+        # 16-bit field carries window >> WINDOW_SCALE.
+        if directive.flags & FLAG_SYN:
+            wire_window = min(0xFFFF, directive.window)
+        else:
+            wire_window = min(0xFFFF, directive.window >> WINDOW_SCALE)
+        segment = TcpSegment(
+            src_ip=key.src_ip,
+            dst_ip=key.dst_ip,
+            src_port=key.src_port,
+            dst_port=key.dst_port,
+            seq=seq,
+            ack=directive.ack,
+            flags=directive.flags,
+            window=wire_window,
+        )
+        if directive.options is not None:
+            segment.options = directive.options
+        return segment

@@ -1,0 +1,116 @@
+"""FPGA resource model: Fig 7b's utilization table, analytically.
+
+We have no Vivado, so per-module LUT/FF/BRAM costs are an analytic model
+fit to the paper's two data points: FtEngine with one FPC uses 16% LUTs,
+11% FFs, 27% BRAMs of a Xilinx U280; with eight FPCs 23%, 15%, 32%
+(§4.7).  The per-FPC increment is derived exactly from the difference,
+and the fixed infrastructure is broken down over the named modules in
+plausible proportions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Xilinx Alveo U280 capacity (XCU280 device datasheet).
+U280_LUT = 1_303_680
+U280_FF = 2_607_360
+U280_BRAM = 2_016  # 36 Kb blocks
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    lut: int
+    ff: int
+    bram: int
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.lut + other.lut, self.ff + other.ff, self.bram + other.bram
+        )
+
+    def scaled(self, factor: int) -> "ResourceVector":
+        return ResourceVector(self.lut * factor, self.ff * factor, self.bram * factor)
+
+    def utilization(self) -> Tuple[float, float, float]:
+        """(LUT%, FF%, BRAM%) of the U280."""
+        return (
+            100.0 * self.lut / U280_LUT,
+            100.0 * self.ff / U280_FF,
+            100.0 * self.bram / U280_BRAM,
+        )
+
+
+#: Per-FPC increment, derived from Fig 7b's 1-FPC vs 8-FPC totals:
+#: ΔLUT = (23% - 16%) x 1 303 680 / 7 ≈ 13 037 per FPC, etc.
+FPC_COST = ResourceVector(lut=13_037, ff=14_899, bram=14)
+
+#: Fixed infrastructure, split over the modules of Fig 3.  The split is
+#: modelled (no synthesis), but each entry is sized plausibly and the
+#: column sums reproduce Fig 7b's totals.
+MODULE_COSTS: Dict[str, ResourceVector] = {
+    "ethernet-mac (322MHz)": ResourceVector(16_000, 24_000, 24),
+    "pcie-dma (host interface)": ResourceVector(72_000, 110_000, 130),
+    "hbm/dram controller": ResourceVector(30_000, 45_000, 60),
+    "scheduler (+location LUT)": ResourceVector(22_000, 28_000, 24),
+    "memory manager (+tcb cache)": ResourceVector(15_000, 20_000, 96),
+    "packet generator": ResourceVector(12_000, 16_000, 32),
+    "rx parser (+cuckoo, reassembly)": ResourceVector(18_000, 24_000, 140),
+    "arp + icmp": ResourceVector(6_552, 8_011, 10),
+    "glue (per-fpc switches)": ResourceVector(4_000, 6_900, 14),
+}
+
+#: Extra glue per additional FPC (§4.4.2: only glue logic scales).
+GLUE_PER_EXTRA_FPC = ResourceVector(lut=0, ff=0, bram=0)
+
+
+def infrastructure_cost() -> ResourceVector:
+    total = ResourceVector(0, 0, 0)
+    for cost in MODULE_COSTS.values():
+        total = total + cost
+    return total
+
+
+def ftengine_cost(num_fpcs: int) -> ResourceVector:
+    """Total FtEngine resources for a given FPC count."""
+    if num_fpcs < 1:
+        raise ValueError("need at least one FPC")
+    total = infrastructure_cost() + FPC_COST.scaled(num_fpcs)
+    total = total + GLUE_PER_EXTRA_FPC.scaled(max(0, num_fpcs - 1))
+    return total
+
+
+def utilization_table(fpc_counts: List[int] = [1, 8]) -> List[Dict[str, object]]:
+    """Rows matching Fig 7b: design, LUT%, FF%, BRAM%."""
+    rows: List[Dict[str, object]] = []
+    for count in fpc_counts:
+        lut, ff, bram = ftengine_cost(count).utilization()
+        rows.append(
+            {
+                "design": f"FtEngine ({count} FPC{'s' if count > 1 else ''})",
+                "lut_pct": round(lut, 1),
+                "ff_pct": round(ff, 1),
+                "bram_pct": round(bram, 1),
+            }
+        )
+    for name, cost in MODULE_COSTS.items():
+        lut, ff, bram = cost.utilization()
+        rows.append(
+            {
+                "design": name,
+                "lut_pct": round(lut, 1),
+                "ff_pct": round(ff, 1),
+                "bram_pct": round(bram, 1),
+            }
+        )
+    lut, ff, bram = FPC_COST.utilization()
+    rows.append(
+        {
+            "design": "flow processing core (each)",
+            "lut_pct": round(lut, 1),
+            "ff_pct": round(ff, 1),
+            "bram_pct": round(bram, 1),
+        }
+    )
+    return rows

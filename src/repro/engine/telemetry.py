@@ -1,0 +1,204 @@
+"""Engine telemetry: structured tracing of FtEngine internals.
+
+Attaches non-invasively (wrapper functions, like a logic analyzer on the
+design's internal buses) and records what the control path actually did:
+events submitted, FPU passes with their emitted directives, packets
+entering the RX parser, and per-flow state transitions.  Invaluable when
+a protocol test fails and you need to see *why* the engine (didn't)
+transmit.
+
+Typical use::
+
+    tracer = EngineTracer.attach(testbed.engine_a, flows={flow_id})
+    ... run traffic ...
+    print(tracer.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from ..tcp.state_machine import TcpState
+from .ftengine import FtEngine
+
+DEFAULT_MAX_RECORDS = 100_000
+
+
+@dataclass
+class TraceRecord:
+    """One observed engine action."""
+
+    time_s: float
+    kind: str  # 'event' | 'fpu' | 'tx' | 'rx' | 'state' | 'note'
+    flow_id: int
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.time_s * 1e6:10.2f}us  flow={self.flow_id:<4d} "
+            f"{self.kind:5s} {self.detail}"
+        )
+
+
+class EngineTracer:
+    """Recorder for one engine's control-path activity."""
+
+    def __init__(
+        self,
+        engine: FtEngine,
+        flows: Optional[Set[int]] = None,
+        max_records: int = DEFAULT_MAX_RECORDS,
+    ) -> None:
+        self.engine = engine
+        self.flows = flows
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._detach_fns: List[Callable[[], None]] = []
+        self._last_state: dict = {}
+
+    # ------------------------------------------------------------- filters
+    def _wants(self, flow_id: int) -> bool:
+        return self.flows is None or flow_id in self.flows
+
+    def _record(self, kind: str, flow_id: int, detail: str) -> None:
+        if not self._wants(flow_id):
+            return
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(
+            TraceRecord(self.engine.now_s, kind, flow_id, detail)
+        )
+
+    # -------------------------------------------------------------- attach
+    @classmethod
+    def attach(
+        cls,
+        engine: FtEngine,
+        flows: Optional[Set[int]] = None,
+        max_records: int = DEFAULT_MAX_RECORDS,
+    ) -> "EngineTracer":
+        tracer = cls(engine, flows, max_records)
+        tracer._wrap_submit()
+        tracer._wrap_apply_result()
+        tracer._wrap_transmit()
+        tracer._wrap_parse()
+        return tracer
+
+    def detach(self) -> None:
+        for restore in self._detach_fns:
+            restore()
+        self._detach_fns.clear()
+
+    def _wrap_submit(self) -> None:
+        original = self.engine._submit
+
+        def wrapped(event):
+            parts = []
+            if event.req is not None:
+                parts.append(f"req={event.req}")
+            if event.ack is not None:
+                parts.append(f"ack={event.ack}")
+            if event.rcv_nxt is not None:
+                parts.append(f"rcv_nxt={event.rcv_nxt}")
+            if event.dup_incr:
+                parts.append("dupack")
+            for flag in ("syn", "fin", "rst", "timeout", "connect", "close"):
+                if getattr(event, flag):
+                    parts.append(flag)
+            self._record(
+                "event", event.flow_id,
+                f"{event.kind.value} {' '.join(parts)}".strip(),
+            )
+            return original(event)
+
+        self.engine._submit = wrapped
+        self._detach_fns.append(lambda: setattr(self.engine, "_submit", original))
+
+    def _wrap_apply_result(self) -> None:
+        original = self.engine._apply_result
+
+        def wrapped(result):
+            tcb = result.tcb
+            directives = ", ".join(
+                f"seq={d.seq}+{d.length}{' RTX' if d.retransmission else ''}"
+                for d in result.directives
+            )
+            self._record(
+                "fpu", tcb.flow_id,
+                f"una={tcb.snd_una} nxt={tcb.snd_nxt} cwnd={tcb.cwnd}"
+                + (f" -> [{directives}]" if directives else ""),
+            )
+            previous = self._last_state.get(tcb.flow_id)
+            if previous is not tcb.state:
+                self._last_state[tcb.flow_id] = tcb.state
+                if previous is not None:
+                    self._record(
+                        "state", tcb.flow_id,
+                        f"{previous.value} -> {tcb.state.value}",
+                    )
+            return original(result)
+
+        self.engine._apply_result = wrapped
+        self._detach_fns.append(
+            lambda: setattr(self.engine, "_apply_result", original)
+        )
+
+    def _wrap_transmit(self) -> None:
+        original = self.engine._transmit_segment
+
+        def wrapped(segment):
+            flow_id = self.engine.rx_parser.lookup(segment.flow_key)
+            self._record(
+                "tx", flow_id if flow_id is not None else -1,
+                f"{segment.flag_names()} seq={segment.seq} ack={segment.ack} "
+                f"len={len(segment.payload)}",
+            )
+            return original(segment)
+
+        self.engine._transmit_segment = wrapped
+        self._detach_fns.append(
+            lambda: setattr(self.engine, "_transmit_segment", original)
+        )
+
+    def _wrap_parse(self) -> None:
+        parser = self.engine.rx_parser
+        original = parser.parse
+
+        def wrapped(segment):
+            event = original(segment)
+            if event is not None:
+                self._record(
+                    "rx", event.flow_id,
+                    f"{segment.flag_names()} seq={segment.seq} "
+                    f"ack={segment.ack} len={len(segment.payload)}",
+                )
+            return event
+
+        parser.parse = wrapped
+        self._detach_fns.append(lambda: setattr(parser, "parse", original))
+
+    # -------------------------------------------------------------- output
+    def render(self, kinds: Optional[Set[str]] = None) -> str:
+        """The trace as a timeline, optionally filtered by record kind."""
+        selected = [
+            record
+            for record in self.records
+            if kinds is None or record.kind in kinds
+        ]
+        lines = [str(record) for record in selected]
+        if self.dropped:
+            lines.append(f"... {self.dropped} records dropped (buffer full)")
+        return "\n".join(lines)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for record in self.records if record.kind == kind)
+
+    def state_transitions(self, flow_id: int) -> List[str]:
+        return [
+            record.detail
+            for record in self.records
+            if record.kind == "state" and record.flow_id == flow_id
+        ]

@@ -1,0 +1,79 @@
+"""Command encodings: the 16 B commands on the software-hardware queues.
+
+Requests such as connect(), send() and recv() travel to FtEngine as 16 B
+commands, and FtEngine answers with 16 B commands carrying ACKed-data and
+received-data pointers (§4.1.1).  The §6 scaling experiment shrinks
+commands to 8 B; both layouts are implemented.
+
+16 B layout: opcode(1) flags(1) flow(4) pointer(4) aux(4) pad(2)
+8 B  layout: opcode(1) flow(3) pointer(4)   — flow ids capped at 2^24.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+COMMAND_SIZE = 16
+COMMAND_SIZE_SIMPLIFIED = 8
+
+
+class Opcode(enum.Enum):
+    # software -> hardware
+    CONNECT = 1
+    LISTEN = 2
+    SEND = 3  # pointer = new request pointer (§4.2.1)
+    RECV = 4  # pointer = new consumption pointer
+    CLOSE = 5
+    # hardware -> software
+    ACKED = 16
+    DATA = 17
+    CONNECTED = 18
+    ACCEPTED = 19
+    EOF = 20
+    CLOSED = 21
+    RESET = 22
+
+
+@dataclass(frozen=True)
+class Command:
+    opcode: Opcode
+    flow_id: int
+    pointer: int = 0
+    aux: int = 0
+    flags: int = 0
+
+    def encode(self) -> bytes:
+        """16 B wire layout."""
+        return struct.pack(
+            "!BBIII2x",
+            self.opcode.value,
+            self.flags,
+            self.flow_id & 0xFFFFFFFF,
+            self.pointer & 0xFFFFFFFF,
+            self.aux & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Command":
+        if len(data) != COMMAND_SIZE:
+            raise ValueError(f"expected {COMMAND_SIZE} B, got {len(data)}")
+        opcode, flags, flow_id, pointer, aux = struct.unpack("!BBIII2x", data)
+        return cls(Opcode(opcode), flow_id, pointer, aux, flags)
+
+    def encode_simplified(self) -> bytes:
+        """8 B layout used by the §6 header-rate experiment."""
+        if self.flow_id >= 1 << 24:
+            raise ValueError("simplified commands cap flow ids at 2^24")
+        packed = (self.opcode.value << 24) | self.flow_id
+        return struct.pack("!II", packed, self.pointer & 0xFFFFFFFF)
+
+    @classmethod
+    def decode_simplified(cls, data: bytes) -> "Command":
+        if len(data) != COMMAND_SIZE_SIMPLIFIED:
+            raise ValueError(
+                f"expected {COMMAND_SIZE_SIMPLIFIED} B, got {len(data)}"
+            )
+        packed, pointer = struct.unpack("!II", data)
+        return cls(Opcode(packed >> 24), packed & 0xFFFFFF, pointer)

@@ -1,0 +1,32 @@
+"""Network substrate: links, Ethernet frames, and the fault-injecting wire."""
+
+from .ethernet import (
+    BROADCAST_MAC,
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    FRAME_OVERHEAD,
+    make_mac,
+)
+from .link import GBPS, LINK_100G, Link, PER_PACKET_OVERHEAD
+from .pcap import CapturedPacket, PcapWriter, WireTap
+from .wire import LossPattern, Wire, WirePort
+
+__all__ = [
+    "BROADCAST_MAC",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "EthernetFrame",
+    "FRAME_OVERHEAD",
+    "GBPS",
+    "LINK_100G",
+    "Link",
+    "LossPattern",
+    "CapturedPacket",
+    "PcapWriter",
+    "WireTap",
+    "PER_PACKET_OVERHEAD",
+    "Wire",
+    "WirePort",
+    "make_mac",
+]

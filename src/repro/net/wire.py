@@ -1,0 +1,149 @@
+"""The simulated wire: serialization, propagation, loss and reordering.
+
+Connects two FtEngines (or an engine and a host NIC model) back to back,
+as the paper's testbed does (§5).  Each direction serializes frames at
+the link rate, delays them by the propagation latency, and optionally
+applies fault injection — drops and reorders — which is how the Fig 14
+congestion-window experiments inject "occasional packet drops".
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, List, Optional, Tuple
+
+from .ethernet import EthernetFrame
+from .link import Link, LINK_100G
+
+FaultFn = Callable[[EthernetFrame, int], bool]
+DelayFn = Callable[[EthernetFrame, int], float]
+
+
+class LossPattern:
+    """Factory for drop predicates used in fault-injection experiments."""
+
+    @staticmethod
+    def none() -> FaultFn:
+        return lambda frame, index: False
+
+    @staticmethod
+    def every_nth(n: int, start: int = 0) -> FaultFn:
+        """Drop packet indices start, start+n, start+2n, ..."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return lambda frame, index: index >= start and (index - start) % n == 0
+
+    @staticmethod
+    def probability(p: float, seed: int = 1) -> FaultFn:
+        """Drop each data-bearing frame independently with probability p."""
+        rng = random.Random(seed)
+        return lambda frame, index: rng.random() < p
+
+    @staticmethod
+    def explicit(indices: List[int]) -> FaultFn:
+        targets = set(indices)
+        return lambda frame, index: index in targets
+
+
+class _Direction:
+    """One direction of the duplex wire."""
+
+    def __init__(self, link: Link, drop_fn: FaultFn, delay_fn: Optional[DelayFn]) -> None:
+        self.link = link
+        self.drop_fn = drop_fn
+        self.delay_fn = delay_fn
+        self.next_free_ps = 0.0
+        self._in_flight: List[Tuple[float, int, EthernetFrame]] = []
+        self._sequence = 0
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+
+    def transmit(self, frame: EthernetFrame, now_ps: float) -> None:
+        index = self._sequence
+        self._sequence += 1
+        if self.drop_fn(frame, index):
+            self.frames_dropped += 1
+            return
+        start = max(now_ps, self.next_free_ps)
+        tx_time = self.link.serialization_time_ps(frame.wire_bytes)
+        self.next_free_ps = start + tx_time
+        arrival = self.next_free_ps + self.link.propagation_delay_us * 1e6
+        if self.delay_fn is not None:
+            arrival += max(0.0, self.delay_fn(frame, index))
+        heapq.heappush(self._in_flight, (arrival, index, frame))
+        self.frames_sent += 1
+        self.bytes_sent += frame.wire_bytes
+
+    def deliver_due(self, now_ps: float) -> List[EthernetFrame]:
+        frames: List[EthernetFrame] = []
+        while self._in_flight and self._in_flight[0][0] <= now_ps:
+            frames.append(heapq.heappop(self._in_flight)[2])
+        return frames
+
+    def next_arrival_ps(self) -> Optional[float]:
+        return self._in_flight[0][0] if self._in_flight else None
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+
+class WirePort:
+    """One endpoint's handle: send frames out, poll frames in."""
+
+    def __init__(self, outbound: _Direction, inbound: _Direction) -> None:
+        self._outbound = outbound
+        self._inbound = inbound
+
+    def send(self, frame: EthernetFrame, now_ps: float) -> None:
+        self._outbound.transmit(frame, now_ps)
+
+    def poll(self, now_ps: float) -> List[EthernetFrame]:
+        return self._inbound.deliver_due(now_ps)
+
+    def next_arrival_ps(self) -> Optional[float]:
+        return self._inbound.next_arrival_ps()
+
+    @property
+    def pending(self) -> int:
+        return self._inbound.in_flight + self._outbound.in_flight
+
+
+class Wire:
+    """A duplex link between two endpoints, ``a`` and ``b``."""
+
+    def __init__(
+        self,
+        link: Link = LINK_100G,
+        drop_a_to_b: Optional[FaultFn] = None,
+        drop_b_to_a: Optional[FaultFn] = None,
+        delay_a_to_b: Optional[DelayFn] = None,
+        delay_b_to_a: Optional[DelayFn] = None,
+    ) -> None:
+        self.link = link
+        self._ab = _Direction(link, drop_a_to_b or LossPattern.none(), delay_a_to_b)
+        self._ba = _Direction(link, drop_b_to_a or LossPattern.none(), delay_b_to_a)
+        self.port_a = WirePort(outbound=self._ab, inbound=self._ba)
+        self.port_b = WirePort(outbound=self._ba, inbound=self._ab)
+
+    @property
+    def in_flight(self) -> int:
+        return self._ab.in_flight + self._ba.in_flight
+
+    @property
+    def frames_dropped(self) -> int:
+        return self._ab.frames_dropped + self._ba.frames_dropped
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._ab.bytes_sent + self._ba.bytes_sent
+
+    def next_arrival_ps(self) -> Optional[float]:
+        times = [
+            t
+            for t in (self._ab.next_arrival_ps(), self._ba.next_arrival_ps())
+            if t is not None
+        ]
+        return min(times) if times else None

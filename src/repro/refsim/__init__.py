@@ -1,0 +1,5 @@
+"""Independent NS3-like reference TCP simulator for Fig 14."""
+
+from .netsim import CwndTrace, ReferenceTcpSimulation
+
+__all__ = ["CwndTrace", "ReferenceTcpSimulation"]

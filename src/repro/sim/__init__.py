@@ -1,0 +1,31 @@
+"""Cycle-level simulation kernel: the hardware substrate FtEngine runs on.
+
+The paper prototypes FtEngine on a Xilinx U280; we substitute a
+cycle-driven simulator (the paper itself uses cycle-accurate simulation
+for its versatility experiments, section 5.4).  Exposes clock domains,
+clocked components, FIFOs with backpressure, pipelines with
+latency/initiation interval, and BRAM/DRAM/HBM/CAM/LUT memory models.
+"""
+
+from .component import Component
+from .fifo import Fifo
+from .kernel import ClockDomain, Simulator, PS_PER_SECOND
+from .memory import CAM, DRAMModel, DualPortSRAM, PartitionedLUT
+from .pipeline import Pipeline
+from .stats import Counters, Histogram, RateMeter
+
+__all__ = [
+    "CAM",
+    "ClockDomain",
+    "Component",
+    "Counters",
+    "DRAMModel",
+    "DualPortSRAM",
+    "Fifo",
+    "Histogram",
+    "PS_PER_SECOND",
+    "PartitionedLUT",
+    "Pipeline",
+    "RateMeter",
+    "Simulator",
+]

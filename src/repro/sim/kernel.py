@@ -1,0 +1,163 @@
+"""Cycle-driven simulation kernel with multiple clock domains.
+
+FtEngine runs most logic at 250 MHz while the network-facing modules (ARP,
+ICMP, packet generator, RX parser) run at 322 MHz (the Ethernet IP clock).
+The kernel keeps global time in **picoseconds** and advances whichever
+domain has the earliest next edge, so mixed-frequency models stay in step.
+
+Two usage styles are supported:
+
+* ``run_cycles`` — tight loop over a single domain, used by the
+  micro-architectural experiments (Figs 2, 15, 16b) where every cycle does
+  work.
+* ``run_until`` — run until a predicate is true or every component reports
+  idle, with idle-skip to the next scheduled wakeup.  Used by functional
+  end-to-end runs where long stretches are quiet (e.g. waiting for an RTO).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .component import Component
+
+PS_PER_SECOND = 1_000_000_000_000
+
+
+class ClockDomain:
+    """A clock with a frequency; owns the components ticked on its edges."""
+
+    def __init__(self, name: str, freq_hz: float) -> None:
+        if freq_hz <= 0:
+            raise ValueError(f"clock frequency must be positive, got {freq_hz}")
+        self.name = name
+        self.freq_hz = freq_hz
+        self.period_ps = PS_PER_SECOND / freq_hz
+        self.cycle = 0
+        self.components: List[Component] = []
+
+    @property
+    def next_edge_ps(self) -> float:
+        return (self.cycle + 1) * self.period_ps
+
+    def tick(self) -> None:
+        """Advance this domain by one cycle, ticking components in order."""
+        self.cycle += 1
+        for component in self.components:
+            component.tick()
+
+    def busy(self) -> bool:
+        return any(component.busy() for component in self.components)
+
+    def reset(self) -> None:
+        self.cycle = 0
+        for component in self.components:
+            component.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mhz = self.freq_hz / 1e6
+        return f"<ClockDomain {self.name!r} {mhz:.0f}MHz cycle={self.cycle}>"
+
+
+class Simulator:
+    """Multi-domain cycle simulator keeping global picosecond time."""
+
+    def __init__(self) -> None:
+        self.domains: Dict[str, ClockDomain] = {}
+        self.time_ps = 0.0
+        self._wakeups: List[float] = []
+
+    def add_domain(self, name: str, freq_hz: float) -> ClockDomain:
+        if name in self.domains:
+            raise ValueError(f"duplicate clock domain {name!r}")
+        domain = ClockDomain(name, freq_hz)
+        self.domains[name] = domain
+        return domain
+
+    def add_component(self, component: Component, domain: str) -> None:
+        self.domains[domain].components.append(component)
+
+    def schedule_wakeup(self, time_ps: float) -> None:
+        """Register a future time the simulation must not idle-skip past."""
+        self._wakeups.append(time_ps)
+
+    @property
+    def time_seconds(self) -> float:
+        return self.time_ps / PS_PER_SECOND
+
+    def _earliest_domain(self) -> ClockDomain:
+        return min(self.domains.values(), key=lambda d: d.next_edge_ps)
+
+    def step(self) -> None:
+        """Advance global time to the earliest next clock edge and tick it."""
+        if not self.domains:
+            raise RuntimeError("no clock domains registered")
+        domain = self._earliest_domain()
+        self.time_ps = domain.next_edge_ps
+        domain.tick()
+
+    def run_cycles(self, n: int, domain: Optional[str] = None) -> None:
+        """Run exactly ``n`` cycles of ``domain`` (ticking others in step).
+
+        With a single domain this is a tight loop; with several, other
+        domains are ticked whenever their edges fall earlier.
+        """
+        if domain is None:
+            if len(self.domains) != 1:
+                raise ValueError("domain must be named when several exist")
+            domain = next(iter(self.domains))
+        target = self.domains[domain].cycle + n
+        if len(self.domains) == 1:
+            d = self.domains[domain]
+            for _ in range(n):
+                d.tick()
+            self.time_ps = d.cycle * d.period_ps
+            return
+        while self.domains[domain].cycle < target:
+            self.step()
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_time_ps: Optional[float] = None,
+        max_steps: int = 100_000_000,
+    ) -> bool:
+        """Run until ``predicate()`` is true.
+
+        Returns True if the predicate fired, False if the run stopped on
+        the time/step bound or because everything went idle with no
+        scheduled wakeups.  When all components are idle, time jumps to
+        the next scheduled wakeup instead of simulating empty cycles.
+        """
+        steps = 0
+        while not predicate():
+            if max_time_ps is not None and self.time_ps >= max_time_ps:
+                return False
+            if steps >= max_steps:
+                return False
+            if not any(d.busy() for d in self.domains.values()):
+                if not self._skip_to_next_wakeup(max_time_ps):
+                    return False
+            self.step()
+            steps += 1
+        return True
+
+    def _skip_to_next_wakeup(self, max_time_ps: Optional[float]) -> bool:
+        self._wakeups = [t for t in self._wakeups if t > self.time_ps]
+        if not self._wakeups:
+            return False
+        target = min(self._wakeups)
+        if max_time_ps is not None:
+            target = min(target, max_time_ps)
+        # Land every domain on its last edge before the target so the next
+        # step() crosses the wakeup boundary.
+        for domain in self.domains.values():
+            domain.cycle = max(domain.cycle, int(target / domain.period_ps))
+        self.time_ps = max(self.time_ps, target)
+        return True
+
+    def reset(self) -> None:
+        self.time_ps = 0.0
+        self._wakeups.clear()
+        for domain in self.domains.values():
+            domain.reset()

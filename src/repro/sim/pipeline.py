@@ -1,0 +1,87 @@
+"""Fixed-latency pipeline model.
+
+The FPU is a fully pipelined datapath: a new TCB may enter every
+``initiation_interval`` cycles and results emerge ``latency`` cycles after
+entry (§4.2.2, §4.5).  This class models exactly that timing contract and
+nothing else — the *work* is a callback applied when an item retires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Pipeline(Generic[T, R]):
+    """A pipeline with fixed latency and initiation interval.
+
+    Items are issued with :meth:`issue` stamped with the current cycle and
+    retire (appear from :meth:`retire_ready`) once ``latency`` cycles have
+    elapsed.  The structural hazard of re-issuing faster than the
+    initiation interval is detected and refused, mirroring hardware.
+    """
+
+    def __init__(
+        self,
+        latency: int,
+        initiation_interval: int = 1,
+        func: Optional[Callable[[T], R]] = None,
+        name: str = "pipeline",
+    ) -> None:
+        if latency < 1:
+            raise ValueError(f"latency must be >= 1, got {latency}")
+        if initiation_interval < 1:
+            raise ValueError(
+                f"initiation interval must be >= 1, got {initiation_interval}"
+            )
+        self.latency = latency
+        self.initiation_interval = initiation_interval
+        self.func = func
+        self.name = name
+        self._in_flight: Deque[Tuple[int, T]] = deque()
+        self._last_issue_cycle: Optional[int] = None
+        self.issued = 0
+        self.retired = 0
+
+    def __len__(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._in_flight)
+
+    def can_issue(self, cycle: int) -> bool:
+        return (
+            self._last_issue_cycle is None
+            or cycle - self._last_issue_cycle >= self.initiation_interval
+        )
+
+    def issue(self, item: T, cycle: int) -> bool:
+        """Enter ``item`` at ``cycle``; False if the II forbids issue now."""
+        if not self.can_issue(cycle):
+            return False
+        self._in_flight.append((cycle, item))
+        self._last_issue_cycle = cycle
+        self.issued += 1
+        return True
+
+    def retire_ready(self, cycle: int) -> List[R]:
+        """Pop every item whose latency has elapsed by ``cycle``.
+
+        The transform ``func`` (when given) is applied at retire time,
+        modelling that results only become architecturally visible at
+        pipeline exit.
+        """
+        out: List[R] = []
+        while self._in_flight and cycle - self._in_flight[0][0] >= self.latency:
+            _, item = self._in_flight.popleft()
+            self.retired += 1
+            out.append(self.func(item) if self.func is not None else item)
+        return out
+
+    def flush(self) -> None:
+        self._in_flight.clear()
+        self._last_issue_cycle = None

@@ -1,0 +1,28 @@
+"""Congestion-control algorithms programmable on the FPU (section 4.5).
+
+Importing this package registers NewReno, CUBIC and Vegas in the
+algorithm registry; users add algorithms by subclassing
+CongestionControl and decorating with @register.
+"""
+
+from .base import (
+    CongestionControl,
+    available_algorithms,
+    get_algorithm,
+    register,
+)
+from .bbr import BbrLite
+from .cubic import Cubic
+from .newreno import NewReno
+from .vegas import Vegas
+
+__all__ = [
+    "BbrLite",
+    "CongestionControl",
+    "Cubic",
+    "NewReno",
+    "Vegas",
+    "available_algorithms",
+    "get_algorithm",
+    "register",
+]

@@ -1,0 +1,82 @@
+"""TCP Vegas (Brakmo & Peterson, 1995).
+
+Vegas is delay-based: it compares expected to actual throughput using a
+baseRTT estimate.  The integer divisions make its FPU pipeline 68 cycles
+deep — the paper's stress case for versatility: despite the latency it
+achieves the same maximum event rate as NewReno and CUBIC (§5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..tcb import Tcb
+from .base import CongestionControl, register
+
+#: Vegas thresholds in segments: grow below ALPHA, shrink above BETA.
+ALPHA_SEGMENTS = 2
+BETA_SEGMENTS = 4
+
+
+@register
+class Vegas(CongestionControl):
+    """Delay-based congestion avoidance with baseRTT tracking."""
+
+    name = "vegas"
+    fpu_latency_cycles = 68  # §5.4: dominated by integer divisions
+
+    def on_init(self, tcb: Tcb, now_s: float) -> None:
+        super().on_init(tcb, now_s)
+        tcb.cc.update(
+            {
+                "base_rtt": float("inf"),
+                "min_rtt": float("inf"),  # min sample this RTT epoch
+                "epoch_end_seq": tcb.snd_nxt,  # next cwnd decision point
+            }
+        )
+
+    def on_rtt_sample(self, tcb: Tcb, rtt_s: float, now_s: float) -> None:
+        cc = tcb.cc
+        cc["base_rtt"] = min(cc.get("base_rtt", float("inf")), rtt_s)
+        cc["min_rtt"] = min(cc.get("min_rtt", float("inf")), rtt_s)
+
+    def on_loss_event(self, tcb: Tcb, now_s: float) -> None:
+        # A loss invalidates the epoch's delay measurements.
+        tcb.cc["min_rtt"] = float("inf")
+        tcb.cc["epoch_end_seq"] = tcb.snd_nxt
+
+    def _congestion_avoidance(
+        self,
+        tcb: Tcb,
+        acked_bytes: int,
+        now_s: float,
+        rtt_sample: Optional[float],
+    ) -> None:
+        cc = tcb.cc
+        if rtt_sample is not None:
+            self.on_rtt_sample(tcb, rtt_sample, now_s)
+        # Decide once per RTT: when the epoch's data has been acked.
+        from ..seq import seq_ge
+
+        if not seq_ge(tcb.snd_una, cc.get("epoch_end_seq", tcb.snd_una)):
+            return
+        base = cc.get("base_rtt", float("inf"))
+        observed = cc.get("min_rtt", float("inf"))
+        cc["epoch_end_seq"] = tcb.snd_nxt
+        cc["min_rtt"] = float("inf")
+        if base == float("inf") or observed == float("inf") or observed <= 0:
+            return
+        # diff = (expected - actual) * baseRTT, in segments.
+        expected = tcb.cwnd / base
+        actual = tcb.cwnd / observed
+        diff_segments = (expected - actual) * base / tcb.mss
+        if diff_segments < ALPHA_SEGMENTS:
+            tcb.cwnd += tcb.mss
+        elif diff_segments > BETA_SEGMENTS:
+            tcb.cwnd = max(2 * tcb.mss, tcb.cwnd - tcb.mss)
+        # else: the window is in the sweet spot; leave it.
+
+    def _slow_start(self, tcb: Tcb, acked_bytes: int, now_s: float) -> None:
+        # Vegas slows exponential growth: every other RTT (modelled as
+        # half-rate byte counting).
+        tcb.cwnd += min(acked_bytes, tcb.mss)

@@ -1,0 +1,144 @@
+"""Cuckoo hash table mapping flow 4-tuples to flow IDs.
+
+The RX parser retrieves a received packet's flow ID by looking up a
+cuckoo hash table with the 4-tuple (§4.1.2, after Xilinx's HLS packet
+processing library).  Cuckoo hashing gives worst-case O(1) lookups — two
+bucket probes — which is what lets the parser run at line rate.
+
+Two tables, each probed with an independent hash; inserts displace
+residents along a bounded kick chain and fall back to a small stash, so
+the table keeps its constant-time lookup guarantee under load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv1a(data: bytes, seed: int) -> int:
+    value = _FNV_OFFSET ^ seed
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class CuckooHashTable(Generic[K, V]):
+    """Two-table cuckoo hash with a bounded stash.
+
+    ``capacity`` is the total number of slots; lookups probe at most one
+    slot per table plus the stash, independent of occupancy.
+    """
+
+    MAX_KICKS = 64
+    STASH_SIZE = 8
+
+    def __init__(self, capacity: int = 131072) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self._table_size = capacity // 2
+        self._tables: List[List[Optional[Tuple[K, V]]]] = [
+            [None] * self._table_size,
+            [None] * self._table_size,
+        ]
+        self._stash: Dict[K, V] = {}
+        self._count = 0
+        self.lookups = 0
+        self.kicks = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        return 2 * self._table_size
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / self.capacity
+
+    def _hash(self, key: K, table: int) -> int:
+        data = repr(key).encode()
+        return _fnv1a(data, seed=0x9E3779B9 * (table + 1)) % self._table_size
+
+    # ------------------------------------------------------------- queries
+    def get(self, key: K) -> Optional[V]:
+        """Constant-time lookup: two bucket probes plus the stash."""
+        self.lookups += 1
+        for table in (0, 1):
+            slot = self._tables[table][self._hash(key, table)]
+            if slot is not None and slot[0] == key:
+                return slot[1]
+        return self._stash.get(key)
+
+    def __contains__(self, key: K) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------- updates
+    def insert(self, key: K, value: V) -> None:
+        """Insert or update; raises OverflowError when truly full."""
+        for table in (0, 1):
+            index = self._hash(key, table)
+            slot = self._tables[table][index]
+            if slot is not None and slot[0] == key:
+                self._tables[table][index] = (key, value)
+                return
+        if key in self._stash:
+            self._stash[key] = value
+            return
+
+        entry: Tuple[K, V] = (key, value)
+        table = 0
+        path: List[Tuple[int, int]] = []
+        for _ in range(self.MAX_KICKS):
+            index = self._hash(entry[0], table)
+            resident = self._tables[table][index]
+            self._tables[table][index] = entry
+            path.append((table, index))
+            if resident is None:
+                self._count += 1
+                return
+            self.kicks += 1
+            entry = resident
+            table ^= 1
+        if len(self._stash) < self.STASH_SIZE:
+            self._stash[entry[0]] = entry[1]
+            self._count += 1
+            return
+        # No room anywhere: undo the whole kick chain so every
+        # previously inserted key stays findable, then refuse.
+        for undo_table, undo_index in reversed(path):
+            entry, self._tables[undo_table][undo_index] = (
+                self._tables[undo_table][undo_index],
+                entry,
+            )
+        raise OverflowError(
+            f"cuckoo table full: {self._count} entries, stash exhausted"
+        )
+
+    def remove(self, key: K) -> Optional[V]:
+        """Delete ``key``; returns its value or None if absent."""
+        for table in (0, 1):
+            index = self._hash(key, table)
+            slot = self._tables[table][index]
+            if slot is not None and slot[0] == key:
+                self._tables[table][index] = None
+                self._count -= 1
+                return slot[1]
+        if key in self._stash:
+            self._count -= 1
+            return self._stash.pop(key)
+        return None
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        for table in self._tables:
+            for slot in table:
+                if slot is not None:
+                    yield slot
+        yield from self._stash.items()

@@ -1,0 +1,165 @@
+"""Out-of-order reassembly: logical merging of received data chunks.
+
+The RX parser DMAs any payload that fits the receive window straight to
+the TCP data buffer — in order or not — and notifies the application only
+once the data is contiguous.  Reassembly is *logical*: the parser stores
+out-of-sequence chunk boundaries and merges adjacent chunks without
+moving payload bytes (§4.1.2).  We keep the actual bytes too so
+end-to-end tests can verify stream integrity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .seq import SEQ_MOD, seq_add, seq_ge, seq_in_window, seq_lt, seq_sub
+
+
+class ReassemblyBuffer:
+    """Receive-side chunk store delivering a strictly in-order byte stream.
+
+    ``rcv_nxt`` is the next expected sequence number; ``window`` bounds
+    how far ahead of it data is accepted (the advertised receive window).
+    """
+
+    def __init__(self, rcv_nxt: int, window: int) -> None:
+        self.rcv_nxt = rcv_nxt
+        self.window = window
+        # Out-of-order chunks: start seq -> payload bytes.  Invariant:
+        # chunks are disjoint, none starts at or before rcv_nxt, and
+        # adjacent chunks are merged eagerly.
+        self._chunks: Dict[int, bytes] = {}
+        self._ready = bytearray()
+        self.bytes_accepted = 0
+        self.bytes_dropped = 0
+        self.duplicates_trimmed = 0
+
+    # -------------------------------------------------------------- stats
+    @property
+    def out_of_order_chunks(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(len(chunk) for chunk in self._chunks.values())
+
+    def chunk_boundaries(self) -> List[Tuple[int, int]]:
+        """The stored (start, end) chunk intervals, sorted by stream order."""
+        spans = [(s, seq_add(s, len(p))) for s, p in self._chunks.items()]
+        spans.sort(key=lambda span: seq_sub(span[0], self.rcv_nxt))
+        return spans
+
+    @property
+    def effective_window(self) -> int:
+        """Buffer room actually available: capacity minus in-order data
+        the application has not consumed yet.
+
+        The data buffer is finite; bytes delivered but unread still
+        occupy it, so the acceptance window shrinks with them — this is
+        what makes the advertised zero window *enforced*, not advisory.
+        """
+        return max(0, self.window - len(self._ready))
+
+    # -------------------------------------------------------------- input
+    def offer(self, seq: int, payload: bytes) -> int:
+        """Accept ``payload`` starting at ``seq``.
+
+        Returns the number of *new* bytes admitted.  Data outside the
+        window is dropped (the parser drops what does not fit, §4.1.2);
+        data preceding ``rcv_nxt`` is trimmed as duplicate.
+        """
+        if not payload:
+            return 0
+        # Trim the already-delivered prefix.
+        behind = seq_sub(self.rcv_nxt, seq)
+        if behind > 0:
+            if behind >= len(payload):
+                self.duplicates_trimmed += len(payload)
+                return 0
+            self.duplicates_trimmed += behind
+            payload = payload[behind:]
+            seq = self.rcv_nxt
+        # Drop what exceeds the window.
+        window = self.effective_window
+        if not seq_in_window(seq, self.rcv_nxt, window):
+            self.bytes_dropped += len(payload)
+            return 0
+        room = window - seq_sub(seq, self.rcv_nxt)
+        if len(payload) > room:
+            self.bytes_dropped += len(payload) - room
+            payload = payload[:room]
+        if not payload:
+            return 0
+        admitted = self._insert_chunk(seq, payload)
+        self._promote_in_order()
+        return admitted
+
+    def _insert_chunk(self, seq: int, payload: bytes) -> int:
+        """Merge ``payload`` into the chunk set, deduplicating overlaps."""
+        start, end = seq, seq_add(seq, len(payload))
+        merged = bytearray(payload)
+        new_bytes = len(payload)
+        for other_start in list(self._chunks):
+            other = self._chunks[other_start]
+            other_end = seq_add(other_start, len(other))
+            # Skip chunks that neither overlap nor touch [start, end).
+            if seq_lt(end, other_start) or seq_lt(other_end, start):
+                continue
+            del self._chunks[other_start]
+            # Compute the union, preferring already-stored bytes on overlap
+            # (retransmissions carry identical data, so either is correct).
+            union_start = other_start if seq_lt(other_start, start) else start
+            overlap = min(
+                seq_sub(end, other_start) if seq_ge(end, other_start) else 0,
+                len(other),
+                len(merged),
+            )
+            new_bytes -= max(0, overlap)
+            union = bytearray()
+            if seq_lt(other_start, start):
+                union += other[: seq_sub(start, other_start)]
+                union += merged
+                tail_from = seq_sub(end, other_start)
+                if tail_from < len(other):
+                    union += other[tail_from:]
+            else:
+                union += merged[: seq_sub(other_start, start)]
+                union += other
+                tail_from = seq_sub(other_end, start)
+                if tail_from < len(merged):
+                    union += merged[tail_from:]
+            merged = union
+            start = union_start
+            end = seq_add(start, len(merged))
+        self._chunks[start] = bytes(merged)
+        self.bytes_accepted += max(0, new_bytes)
+        return max(0, new_bytes)
+
+    def _promote_in_order(self) -> None:
+        """Move the chunk at ``rcv_nxt`` (if any) into the ready stream."""
+        while self.rcv_nxt in self._chunks:
+            chunk = self._chunks.pop(self.rcv_nxt)
+            self._ready += chunk
+            self.rcv_nxt = seq_add(self.rcv_nxt, len(chunk))
+
+    # ------------------------------------------------------------- output
+    @property
+    def readable(self) -> int:
+        """Bytes ready for in-order delivery to the application."""
+        return len(self._ready)
+
+    def read(self, nbytes: int) -> bytes:
+        """Consume up to ``nbytes`` of in-order data."""
+        if nbytes < 0:
+            raise ValueError("read size must be non-negative")
+        data = bytes(self._ready[:nbytes])
+        del self._ready[:nbytes]
+        return data
+
+    def read_all(self) -> bytes:
+        data = bytes(self._ready)
+        self._ready.clear()
+        return data
+
+
+__all__ = ["ReassemblyBuffer", "SEQ_MOD"]

@@ -1,0 +1,60 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "report" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ISCA 2023" in out
+        assert "8 FPCs" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "hello from the demo" in out
+        assert "simulated microseconds" in out
+
+    def test_report_single_exhibit(self, capsys):
+        assert main(["report", "table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "0 with out-of-tolerance checks" in out
+
+    def test_report_with_plots(self, capsys):
+        assert main(["report", "figure15", "--quick", "--plots"]) == 0
+        out = capsys.readouterr().out
+        assert "event rate vs FPU latency" in out
+        assert "+----" in out  # the ASCII canvas frame
+
+    def test_iperf(self, capsys):
+        assert main(["iperf", "--size", "128", "--cores", "2", "--bytes", "200000"]) == 0
+        out = capsys.readouterr().out
+        assert "modelled" in out
+        assert "functional" in out
+
+
+class TestStatsReport:
+    def test_aggregates_every_module(self):
+        from repro.engine.testbed import Testbed
+
+        testbed = Testbed()
+        a_flow, b_flow = testbed.establish()
+        testbed.engine_a.send_data(a_flow, bytes(10_000))
+        testbed.run(
+            until=lambda: testbed.engine_b.readable(b_flow) >= 10_000,
+            max_time_s=0.05,
+        )
+        report = testbed.engine_a.stats_report()
+        assert report["engine"]["packets_sent"] >= 7
+        assert report["scheduler"]["events_routed"] >= 2
+        assert report["packet_generator"]["bytes"] == 10_000
+        assert report["arp"]["requests_sent"] == 1
+        assert sum(f["flows"] for f in report["fpcs"].values()) == 1

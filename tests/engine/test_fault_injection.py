@@ -1,0 +1,117 @@
+"""Fault injection: corruption, unreachable peers, simplified commands."""
+
+import pytest
+
+from repro.engine.fpu import MAX_RTO_BACKOFF
+from repro.engine.testbed import Testbed
+from repro.host.runtime import F4TRuntime
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.tcp.segment import TcpSegment
+
+
+class TestWireCorruption:
+    def test_corrupted_frames_dropped_not_crashed(self):
+        """Bit-flipped wire bytes fail the checksum and are discarded."""
+        testbed = Testbed()
+        a_flow, b_flow = testbed.establish()
+        original_send = testbed.wire.port_a.send
+        corrupted = {"count": 0}
+
+        def corrupting_send(frame, now_ps):
+            if isinstance(frame.payload, TcpSegment) and frame.payload.payload:
+                raw = bytearray(frame.payload.to_bytes())
+                if corrupted["count"] < 3:  # flip bits in the first few
+                    raw[-1] ^= 0xFF
+                    corrupted["count"] += 1
+                frame.payload = bytes(raw)
+            original_send(frame, now_ps)
+
+        testbed.wire.port_a.send = corrupting_send
+        data = bytes(i % 256 for i in range(50_000))
+        sent = {"n": 0}
+
+        def pump():
+            if sent["n"] < len(data):
+                sent["n"] += testbed.engine_a.send_data(a_flow, data[sent["n"]:sent["n"] + 8192])
+            return testbed.engine_b.readable(b_flow) >= len(data)
+
+        assert testbed.run(until=pump, max_time_s=5.0)
+        assert testbed.engine_b.recv_data(b_flow, len(data)) == data
+        assert testbed.engine_b.counters.get("packets_corrupt_dropped") == 3
+        # Retransmissions repaired the corrupted segments.
+        assert testbed.engine_a.counters.get("retransmissions") >= 1
+
+
+class TestRetryGiveUp:
+    def test_unreachable_peer_eventually_resets(self):
+        """After MAX_RTO_BACKOFF consecutive timeouts the flow aborts
+        with a RESET instead of retrying forever."""
+        testbed = Testbed()
+        testbed.wire.port_a.send = lambda frame, now_ps: None  # blackhole
+        flow = testbed.engine_a.connect(testbed.engine_b.ip, 9999)
+        messages = []
+
+        def reset_seen():
+            messages.extend(testbed.engine_a.drain_host_messages())
+            return any(m.kind == "reset" for m in messages)
+
+        # Backoff doubles from 1 s: the abort arrives within ~2^11 s.
+        assert testbed.run(until=reset_seen, max_time_s=4000.0)
+        assert flow not in testbed.engine_a.flows  # torn down
+        assert testbed.engine_a.tcb_of(flow) is None
+
+    def test_backoff_cap_constant(self):
+        assert MAX_RTO_BACKOFF == 10
+
+
+class TestSimplifiedCommands:
+    def test_8b_command_data_path(self):
+        """§6: the software stack runs unchanged on 8 B commands."""
+        testbed = Testbed()
+        a_flow, b_flow = testbed.establish()
+        runtime = F4TRuntime(testbed.engine_a, thread_id=5, simplified_commands=True)
+        assert runtime.queues.bytes_per_round_trip == 16  # 8 B each way
+        sent = runtime.send(a_flow, b"tiny commands, same stack")
+        runtime.flush()
+        assert testbed.run(
+            until=lambda: testbed.engine_b.readable(b_flow) >= sent,
+            max_time_s=0.05,
+        )
+        assert testbed.engine_b.recv_data(b_flow, sent) == b"tiny commands, same stack"
+
+
+class TestRstGeneration:
+    def test_data_to_vanished_flow_draws_rst(self):
+        """Segments for a flow the engine no longer knows are answered
+        with RST (RFC 793), resetting the stale peer."""
+        testbed = Testbed()
+        a_flow, b_flow = testbed.establish()
+        # A's flow disappears (e.g. operator teardown) without a FIN.
+        testbed.engine_a._teardown_flow(a_flow)
+        testbed.engine_b.send_data(b_flow, b"into the void")
+        messages = []
+
+        def reset_seen():
+            messages.extend(testbed.engine_b.drain_host_messages(0))
+            return any(m.kind == "reset" for m in messages)
+
+        assert testbed.run(until=reset_seen, max_time_s=0.01)
+        assert testbed.engine_a.counters.get("rsts_sent") >= 1
+        assert b_flow not in testbed.engine_b.flows
+
+    def test_rst_is_never_answered_with_rst(self):
+        """No RST ping-pong between two engines with stale state."""
+        testbed = Testbed()
+        a_flow, b_flow = testbed.establish()
+        testbed.engine_a._teardown_flow(a_flow)
+        testbed.engine_b._teardown_flow(b_flow)
+        # A stray RST arrives for an unknown flow on both sides.
+        from repro.tcp.segment import FLAG_RST, TcpSegment
+
+        stray = TcpSegment(
+            src_ip=testbed.engine_a.ip, dst_ip=testbed.engine_b.ip,
+            src_port=12345, dst_port=54321, seq=1, flags=FLAG_RST,
+        )
+        testbed.engine_a._transmit_ip(stray, testbed.engine_b.ip)
+        testbed.run(max_time_s=testbed.now_s + 1e-4)
+        assert testbed.engine_b.counters.get("rsts_sent", ) == 0

@@ -1,0 +1,194 @@
+"""The Flow Processing Core: rates, hazards, eviction (§4.2, §4.3.2)."""
+
+import pytest
+
+from repro.engine.baseline import NullFpu
+from repro.engine.events import EventKind, TcpEvent, user_send_event
+from repro.engine.fpc import FlowProcessingCore
+from repro.tcp.state_machine import TcpState
+from repro.tcp.tcb import Tcb
+
+
+def make_fpc(slots=8, latency=14):
+    return FlowProcessingCore(0, slots=slots, fpu=NullFpu(latency))
+
+
+def install_flows(fpc, count):
+    for flow_id in range(count):
+        fpc.accept_tcb(Tcb(flow_id=flow_id, state=TcpState.ESTABLISHED))
+
+
+class TestResidency:
+    def test_accept_and_peek(self):
+        fpc = make_fpc()
+        fpc.accept_tcb(Tcb(flow_id=42))
+        assert fpc.flow_count == 1
+        assert fpc.peek_tcb(42) is not None
+        assert fpc.peek_tcb(99) is None
+
+    def test_has_room(self):
+        fpc = make_fpc(slots=2)
+        install_flows(fpc, 2)
+        assert not fpc.has_room
+
+    def test_resident_flows(self):
+        fpc = make_fpc()
+        install_flows(fpc, 3)
+        assert sorted(fpc.resident_flows()) == [0, 1, 2]
+
+    def test_coldest_flow(self):
+        fpc = make_fpc()
+        for flow_id, when in ((1, 5.0), (2, 1.0), (3, 9.0)):
+            tcb = Tcb(flow_id=flow_id, last_active=when)
+            fpc.accept_tcb(tcb)
+        assert fpc.coldest_flow() == 2
+
+
+class TestEventProcessingRate:
+    def test_one_event_per_two_cycles(self):
+        """§4.2.3: 125 M events/s at 250 MHz — one event per 2 cycles."""
+        fpc = make_fpc()
+        install_flows(fpc, 4)
+        offered = 0
+        for cycle in range(1000):
+            if not fpc.input.full:
+                fpc.offer_event(user_send_event(offered % 4, offered + 1, 0.0))
+                offered += 1
+            fpc.tick()
+            fpc.drain_results()
+        assert fpc.events_accepted == pytest.approx(500, abs=5)
+
+    def test_rate_independent_of_fpu_latency(self):
+        """§4.5: the versatility claim at FPC granularity."""
+        rates = []
+        for latency in (1, 14, 68):
+            fpc = make_fpc(latency=latency)
+            install_flows(fpc, 1)
+            for i in range(2000):
+                if not fpc.input.full:
+                    fpc.offer_event(user_send_event(0, i + 1, 0.0))
+                fpc.tick()
+                fpc.drain_results()
+            rates.append(fpc.events_accepted)
+        assert max(rates) - min(rates) <= 2
+
+    def test_single_flow_events_accumulate_while_fpu_busy(self):
+        fpc = make_fpc(latency=40)
+        install_flows(fpc, 1)
+        for i in range(200):
+            if not fpc.input.full:
+                fpc.offer_event(user_send_event(0, i + 1, 0.0))
+            fpc.tick()
+            fpc.drain_results()
+        # Events kept flowing in at ~1/2 cycles even though the FPU
+        # completed far fewer passes.
+        assert fpc.events_accepted >= 95
+        assert fpc.tcbs_processed < fpc.events_accepted
+
+
+class TestHazardFreedom:
+    def test_same_flow_never_in_fpu_twice(self):
+        """§4.2.2: the round-robin distance prevents RMW hazards."""
+        fpc = make_fpc(latency=20)
+        install_flows(fpc, 2)
+        max_inflight_same_flow = 0
+        for i in range(500):
+            if not fpc.input.full:
+                fpc.offer_event(user_send_event(i % 2, i + 1, 0.0))
+            fpc.tick()
+            fpc.drain_results()
+            # Pipeline entries are (issue_cycle, (slot, tcb, dup)).
+            in_pipe = [payload[1].flow_id for _, payload in fpc.pipe._in_flight]
+            for flow_id in set(in_pipe):
+                max_inflight_same_flow = max(
+                    max_inflight_same_flow, in_pipe.count(flow_id)
+                )
+        assert max_inflight_same_flow <= 1
+
+    def test_writeback_keeps_latest_events(self):
+        """Events arriving during an FPU pass must survive it
+        (dual-memory invariant 2)."""
+        fpc = make_fpc(latency=30)
+        install_flows(fpc, 1)
+        fpc.offer_event(user_send_event(0, 100, 0.0))
+        # Let it dispatch, then inject another event mid-pipeline.
+        for _ in range(6):
+            fpc.tick()
+        fpc.offer_event(user_send_event(0, 999, 0.0))
+        for _ in range(80):
+            fpc.tick()
+            fpc.drain_results()
+        slot = fpc.cam.lookup(0)
+        entry = fpc.event_table.read(slot)
+        tcb = fpc.tcb_table.read(slot)
+        # Either already merged into the TCB or still valid in the table.
+        assert tcb.req == 999 or (entry.valid and entry.req == 999)
+
+
+class TestEviction:
+    def test_evict_requested_flow_comes_out_processed(self):
+        fpc = make_fpc()
+        install_flows(fpc, 3)
+        assert fpc.request_evict(1)
+        evicted = []
+        for _ in range(60):
+            fpc.tick()
+            fpc.drain_results()
+            evicted.extend(fpc.drain_evicted())
+        assert [tcb.flow_id for tcb in evicted] == [1]
+        assert fpc.peek_tcb(1) is None
+        assert fpc.flow_count == 2
+
+    def test_evict_unknown_flow_refused(self):
+        fpc = make_fpc()
+        assert not fpc.request_evict(123)
+
+    def test_eviction_waits_for_queued_events(self):
+        """Invariant 3: a TCB is never evicted with unprocessed events."""
+        fpc = make_fpc(latency=4)
+        install_flows(fpc, 1)
+        # Queue several events, then immediately request eviction.
+        for i in range(5):
+            fpc.offer_event(user_send_event(0, 100 + i, 0.0))
+        fpc.request_evict(0)
+        evicted = []
+        for _ in range(200):
+            fpc.tick()
+            fpc.drain_results()
+            evicted.extend(fpc.drain_evicted())
+        assert len(evicted) == 1
+        # The evicted TCB carries the newest request pointer: every
+        # queued event was handled and processed before eviction.
+        assert evicted[0].req == 104
+        assert fpc.input.empty
+
+    def test_evicted_slot_is_reusable(self):
+        fpc = make_fpc(slots=1)
+        install_flows(fpc, 1)
+        fpc.request_evict(0)
+        for _ in range(60):
+            fpc.tick()
+            fpc.drain_results()
+            fpc.drain_evicted()
+        assert fpc.has_room
+        fpc.accept_tcb(Tcb(flow_id=77))
+        assert fpc.peek_tcb(77) is not None
+
+
+class TestBackpressure:
+    def test_input_fifo_backpressure_signal(self):
+        fpc = make_fpc(slots=4)
+        install_flows(fpc, 1)
+        while not fpc.input.full:
+            fpc.offer_event(user_send_event(0, 1, 0.0))
+        assert fpc.backpressure
+        assert not fpc.offer_event(user_send_event(0, 1, 0.0))
+
+    def test_reset(self):
+        fpc = make_fpc()
+        install_flows(fpc, 2)
+        fpc.offer_event(user_send_event(0, 1, 0.0))
+        fpc.tick()
+        fpc.reset()
+        assert fpc.cycle == 0
+        assert not fpc.busy()

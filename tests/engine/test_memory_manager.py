@@ -1,0 +1,124 @@
+"""The DRAM memory manager: handling, cache, check logic (§4.3.1)."""
+
+import pytest
+
+from repro.engine.events import EventKind, TcpEvent, user_send_event
+from repro.engine.memory_manager import MemoryManager
+from repro.sim.memory import DRAMModel
+from repro.tcp.state_machine import TcpState
+from repro.tcp.tcb import Tcb
+
+
+def make_manager(cache_entries=8, memory="hbm"):
+    dram = DRAMModel.hbm() if memory == "hbm" else DRAMModel.ddr4()
+    return MemoryManager(dram, cache_entries=cache_entries), dram
+
+
+class TestResidency:
+    def test_store_take_roundtrip(self):
+        manager, _ = make_manager()
+        tcb = Tcb(flow_id=7, state=TcpState.ESTABLISHED)
+        manager.store(tcb)
+        assert 7 in manager
+        taken, entry = manager.take(7)
+        assert taken is tcb
+        assert entry.valid == 0
+        assert 7 not in manager
+
+    def test_take_unknown_raises(self):
+        manager, _ = make_manager()
+        with pytest.raises(KeyError):
+            manager.take(404)
+
+    def test_peek(self):
+        manager, _ = make_manager()
+        manager.store(Tcb(flow_id=1))
+        assert manager.peek_tcb(1).flow_id == 1
+        assert manager.peek_tcb(2) is None
+
+
+class TestEventHandling:
+    def test_events_are_handled_not_processed(self):
+        """§4.3.1: the memory manager handles like the event handler —
+        the TCB's architectural pointers stay put until an FPC pass."""
+        manager, _ = make_manager()
+        tcb = Tcb(flow_id=1, state=TcpState.ESTABLISHED)
+        manager.store(tcb)
+        manager.handle_event(user_send_event(1, 5000, 0.0))
+        assert tcb.snd_nxt == 0  # untouched: no TCP processing here
+        _, entry = manager.take(1)
+        assert entry.req == 5000  # but the information is retained
+
+    def test_event_for_absent_flow_ignored(self):
+        manager, _ = make_manager()
+        manager.handle_event(user_send_event(9, 1, 0.0))  # no crash
+        assert manager.events_handled == 0
+
+    def test_events_accumulate(self):
+        manager, _ = make_manager()
+        manager.store(Tcb(flow_id=1, state=TcpState.ESTABLISHED))
+        for pointer in (100, 300, 200):
+            manager.handle_event(user_send_event(1, pointer, 0.0))
+        _, entry = manager.take(1)
+        assert entry.req == 300
+
+
+class TestCheckLogic:
+    def test_sendable_flow_requests_swap_in(self):
+        manager, _ = make_manager()
+        manager.store(Tcb(flow_id=1, state=TcpState.ESTABLISHED))
+        manager.handle_event(user_send_event(1, 1000, 0.0))
+        assert manager.drain_swap_in_requests() == [1]
+
+    def test_unsendable_flow_waits_in_dram(self):
+        """'If the flow cannot send packets, it can wait in the memory
+        manager' (§4.3.1) — a pure window update triggers no swap."""
+        manager, _ = make_manager()
+        manager.store(Tcb(flow_id=1, state=TcpState.ESTABLISHED))
+        manager.handle_event(TcpEvent(EventKind.RX_PACKET, 1, wnd=9999))
+        assert manager.drain_swap_in_requests() == []
+
+    def test_check_logic_does_not_mutate(self):
+        manager, _ = make_manager()
+        tcb = Tcb(flow_id=1, state=TcpState.ESTABLISHED)
+        manager.store(tcb)
+        manager.handle_event(user_send_event(1, 1000, 0.0))
+        _, entry = manager.take(1)
+        assert entry.valid != 0  # events still pending, not consumed
+
+    def test_swap_in_requested_once(self):
+        manager, _ = make_manager()
+        manager.store(Tcb(flow_id=1, state=TcpState.ESTABLISHED))
+        manager.handle_event(user_send_event(1, 1000, 0.0))
+        manager.handle_event(user_send_event(1, 2000, 0.0))
+        assert manager.drain_swap_in_requests() == [1]
+
+
+class TestCacheAccounting:
+    def test_hits_are_free_misses_pay_dram(self):
+        manager, dram = make_manager(cache_entries=8)
+        manager.store(Tcb(flow_id=1, state=TcpState.ESTABLISHED))
+        requests_after_store = dram.requests
+        manager.handle_event(user_send_event(1, 10, 0.0))  # hit: cached
+        assert dram.requests == requests_after_store
+        assert manager.cache_hits >= 1
+
+    def test_conflicting_flows_thrash_the_cache(self):
+        manager, dram = make_manager(cache_entries=4)
+        # Flows 1 and 5 collide in a 4-entry direct-mapped cache.
+        manager.store(Tcb(flow_id=1, state=TcpState.ESTABLISHED))
+        manager.store(Tcb(flow_id=5, state=TcpState.ESTABLISHED))
+        baseline = dram.requests
+        manager.handle_event(user_send_event(1, 10, 0.0))  # miss
+        manager.handle_event(user_send_event(5, 10, 0.0))  # miss again
+        assert dram.requests > baseline
+        assert manager.cache_misses >= 2
+
+    def test_tick_stalls_while_dram_busy(self):
+        manager, dram = make_manager(memory="ddr4")
+        manager.store(Tcb(flow_id=1, state=TcpState.ESTABLISHED))
+        manager.offer_event(user_send_event(1, 10, 0.0))
+        dram.busy_until_ps = 1e12  # channel artificially saturated
+        manager.tick()
+        assert manager.events_handled == 0  # stalled, not dropped
+        assert len(manager.input) == 1

@@ -1,0 +1,85 @@
+"""Engine telemetry: trace completeness and transparency."""
+
+import pytest
+
+from repro.engine.telemetry import EngineTracer
+from repro.engine.testbed import Testbed
+
+
+@pytest.fixture
+def traced_world():
+    testbed = Testbed()
+    tracer = EngineTracer.attach(testbed.engine_a)
+    return testbed, tracer
+
+
+class TestTracing:
+    def test_traffic_behaves_identically_under_tracing(self, traced_world):
+        testbed, _ = traced_world
+        a_flow, b_flow = testbed.establish()
+        testbed.engine_a.send_data(a_flow, b"z" * 10_000)
+        assert testbed.run(
+            until=lambda: testbed.engine_b.readable(b_flow) >= 10_000,
+            max_time_s=0.05,
+        )
+        assert testbed.engine_b.recv_data(b_flow, 10_000) == b"z" * 10_000
+
+    def test_records_every_layer(self, traced_world):
+        testbed, tracer = traced_world
+        a_flow, b_flow = testbed.establish()
+        testbed.engine_a.send_data(a_flow, b"z" * 5000)
+        testbed.run(
+            until=lambda: testbed.engine_b.readable(b_flow) >= 5000,
+            max_time_s=0.05,
+        )
+        testbed.run(max_time_s=testbed.now_s + 1e-4)  # let ACKs return
+        assert tracer.count("event") >= 2  # connect + send at least
+        assert tracer.count("fpu") >= 2
+        assert tracer.count("tx") >= 4  # SYN + data segments
+        assert tracer.count("rx") >= 2  # SYN-ACK + ACKs
+
+    def test_state_transitions_recorded(self, traced_world):
+        testbed, tracer = traced_world
+        a_flow, _ = testbed.establish()
+        transitions = tracer.state_transitions(a_flow)
+        assert any("SYN_SENT" in t for t in transitions)
+        assert any("ESTABLISHED" in t for t in transitions)
+
+    def test_flow_filter(self):
+        testbed = Testbed()
+        testbed.engine_b.listen(80)
+        first = testbed.engine_a.connect(testbed.engine_b.ip, 80)
+        tracer = EngineTracer.attach(testbed.engine_a, flows={first + 1})
+        second = testbed.engine_a.connect(testbed.engine_b.ip, 80)
+        testbed.run(max_time_s=testbed.now_s + 1e-4)
+        flows_seen = {record.flow_id for record in tracer.records}
+        assert flows_seen <= {second}
+
+    def test_render_filters_by_kind(self, traced_world):
+        testbed, tracer = traced_world
+        testbed.establish()
+        tx_only = tracer.render(kinds={"tx"})
+        assert "tx" in tx_only
+        assert "event" not in tx_only.split()  # kind column filtered
+
+    def test_bounded_buffer(self):
+        testbed = Testbed()
+        tracer = EngineTracer.attach(testbed.engine_a, max_records=5)
+        a_flow, b_flow = testbed.establish()
+        testbed.engine_a.send_data(a_flow, b"x" * 50_000)
+        testbed.run(
+            until=lambda: testbed.engine_b.readable(b_flow) >= 50_000,
+            max_time_s=0.05,
+        )
+        assert len(tracer.records) == 5
+        assert tracer.dropped > 0
+        assert "dropped" in tracer.render()
+
+    def test_detach_restores_behaviour(self, traced_world):
+        testbed, tracer = traced_world
+        testbed.establish()
+        count = len(tracer.records)
+        tracer.detach()
+        testbed.engine_a.connect(testbed.engine_b.ip, 80)
+        testbed.run(max_time_s=testbed.now_s + 1e-4)
+        assert len(tracer.records) == count

@@ -1,0 +1,24 @@
+"""Component base-class contract."""
+
+from repro.sim.component import Component
+
+
+class TestComponent:
+    def test_tick_advances_cycle(self):
+        component = Component("c")
+        component.tick()
+        component.tick()
+        assert component.cycle == 2
+
+    def test_busy_defaults_conservative(self):
+        """Unknown components must never be idle-skipped past."""
+        assert Component("c").busy()
+
+    def test_reset(self):
+        component = Component("c")
+        component.tick()
+        component.reset()
+        assert component.cycle == 0
+
+    def test_name(self):
+        assert Component("scheduler").name == "scheduler"

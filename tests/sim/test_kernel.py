@@ -1,0 +1,154 @@
+"""Simulation kernel: clock domains, time keeping, idle-skip."""
+
+import pytest
+
+from repro.sim.component import Component
+from repro.sim.kernel import ClockDomain, PS_PER_SECOND, Simulator
+
+
+class TickCounter(Component):
+    def __init__(self, name="counter", busy_flag=True):
+        super().__init__(name)
+        self.busy_flag = busy_flag
+        self.ticks = 0
+
+    def tick(self):
+        super().tick()
+        self.ticks += 1
+
+    def busy(self):
+        return self.busy_flag
+
+
+class TestClockDomain:
+    def test_period_from_frequency(self):
+        domain = ClockDomain("main", 250e6)
+        assert domain.period_ps == pytest.approx(4000.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            ClockDomain("bad", 0)
+
+    def test_tick_advances_components_in_order(self):
+        domain = ClockDomain("main", 1e9)
+        order = []
+
+        class Recorder(Component):
+            def __init__(self, tag):
+                super().__init__(tag)
+
+            def tick(self):
+                order.append(self.name)
+
+        domain.components.extend([Recorder("first"), Recorder("second")])
+        domain.tick()
+        assert order == ["first", "second"]
+
+    def test_next_edge(self):
+        domain = ClockDomain("main", 250e6)
+        assert domain.next_edge_ps == pytest.approx(4000.0)
+        domain.tick()
+        assert domain.next_edge_ps == pytest.approx(8000.0)
+
+
+class TestSimulator:
+    def test_duplicate_domain_rejected(self):
+        sim = Simulator()
+        sim.add_domain("a", 1e6)
+        with pytest.raises(ValueError):
+            sim.add_domain("a", 1e6)
+
+    def test_run_cycles_single_domain(self):
+        sim = Simulator()
+        sim.add_domain("main", 250e6)
+        counter = TickCounter()
+        sim.add_component(counter, "main")
+        sim.run_cycles(100)
+        assert counter.ticks == 100
+        assert sim.time_seconds == pytest.approx(100 / 250e6)
+
+    def test_run_cycles_needs_domain_name_when_ambiguous(self):
+        sim = Simulator()
+        sim.add_domain("a", 1e6)
+        sim.add_domain("b", 2e6)
+        with pytest.raises(ValueError):
+            sim.run_cycles(1)
+
+    def test_multi_domain_interleaving(self):
+        """A 322 MHz domain ticks ~1.29x as often as a 250 MHz one."""
+        sim = Simulator()
+        sim.add_domain("slow", 250e6)
+        sim.add_domain("fast", 322e6)
+        slow = TickCounter("slow")
+        fast = TickCounter("fast")
+        sim.add_component(slow, "slow")
+        sim.add_component(fast, "fast")
+        sim.run_cycles(1000, domain="slow")
+        assert slow.ticks == 1000
+        assert fast.ticks == pytest.approx(1000 * 322 / 250, rel=0.01)
+
+    def test_step_advances_earliest_edge_first(self):
+        sim = Simulator()
+        sim.add_domain("slow", 1e6)  # 1 us period
+        sim.add_domain("fast", 4e6)  # 0.25 us period
+        fast = TickCounter("fast")
+        sim.add_component(fast, "fast")
+        sim.step()
+        assert sim.time_ps == pytest.approx(0.25e6)
+        assert fast.ticks == 1
+
+    def test_step_without_domains_raises(self):
+        with pytest.raises(RuntimeError):
+            Simulator().step()
+
+    def test_run_until_predicate(self):
+        sim = Simulator()
+        sim.add_domain("main", 1e9)
+        counter = TickCounter()
+        sim.add_component(counter, "main")
+        assert sim.run_until(lambda: counter.ticks >= 42)
+        assert counter.ticks == 42
+
+    def test_run_until_respects_max_time(self):
+        sim = Simulator()
+        sim.add_domain("main", 1e9)
+        sim.add_component(TickCounter(), "main")
+        assert not sim.run_until(lambda: False, max_time_ps=10_000)
+        assert sim.time_ps >= 10_000
+
+    def test_run_until_respects_max_steps(self):
+        sim = Simulator()
+        sim.add_domain("main", 1e9)
+        sim.add_component(TickCounter(), "main")
+        assert not sim.run_until(lambda: False, max_steps=7)
+
+    def test_idle_skip_to_wakeup(self):
+        """With everything idle, time jumps to the scheduled wakeup."""
+        sim = Simulator()
+        sim.add_domain("main", 250e6)
+        idle = TickCounter(busy_flag=False)
+        sim.add_component(idle, "main")
+        sim.schedule_wakeup(1e9)  # 1 ms in the future
+        assert not sim.run_until(lambda: False, max_time_ps=2e9, max_steps=1000)
+        # Reaching 2e9 ps in <=1000 steps is only possible by skipping.
+        assert sim.time_ps >= 1e9
+        assert idle.ticks < 1000
+
+    def test_idle_without_wakeup_stops(self):
+        sim = Simulator()
+        sim.add_domain("main", 250e6)
+        sim.add_component(TickCounter(busy_flag=False), "main")
+        assert not sim.run_until(lambda: False, max_steps=100)
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.add_domain("main", 1e9)
+        counter = TickCounter()
+        sim.add_component(counter, "main")
+        sim.run_cycles(10)
+        sim.reset()
+        assert sim.time_ps == 0.0
+        assert counter.cycle == 0
+
+    def test_ps_per_second_constant(self):
+        assert PS_PER_SECOND == 1_000_000_000_000

@@ -1,0 +1,102 @@
+"""Counters, rate meters and percentile histograms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Counters, Histogram, RateMeter
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        counters = Counters()
+        counters.add("packets")
+        counters.add("packets", 4)
+        assert counters.get("packets") == 5
+        assert counters["packets"] == 5
+
+    def test_missing_is_zero(self):
+        assert Counters().get("nothing") == 0
+
+    def test_as_dict_is_a_copy(self):
+        counters = Counters()
+        counters.add("x")
+        snapshot = counters.as_dict()
+        snapshot["x"] = 99
+        assert counters.get("x") == 1
+
+
+class TestRateMeter:
+    def test_events_per_second(self):
+        meter = RateMeter()
+        for _ in range(100):
+            meter.record()
+        assert meter.per_second(1e12) == pytest.approx(100.0)
+
+    def test_gbps_from_bytes(self):
+        meter = RateMeter()
+        meter.record(units=125_000_000)  # bytes over 1 ms
+        assert meter.gbps(1e9) == pytest.approx(1000.0)
+
+    def test_zero_elapsed(self):
+        meter = RateMeter()
+        meter.record()
+        assert meter.per_second(0) == 0.0
+        assert meter.units_per_second(-1) == 0.0
+
+
+class TestHistogram:
+    def test_median_and_p99(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.record(float(value))
+        assert hist.median == pytest.approx(50.5)
+        assert hist.p99 == pytest.approx(99.01)
+
+    def test_single_sample(self):
+        hist = Histogram()
+        hist.record(7.0)
+        assert hist.median == 7.0
+        assert hist.p99 == 7.0
+        assert hist.percentile(0) == 7.0
+        assert hist.percentile(100) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().median
+        with pytest.raises(ValueError):
+            Histogram().mean
+        with pytest.raises(ValueError):
+            Histogram().max
+
+    def test_percentile_bounds_checked(self):
+        hist = Histogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+
+    def test_mean_and_max(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 6.0):
+            hist.record(value)
+        assert hist.mean == pytest.approx(3.0)
+        assert hist.max == 6.0
+
+    def test_records_after_percentile_queries(self):
+        hist = Histogram()
+        hist.record(1.0)
+        assert hist.median == 1.0
+        hist.record(3.0)
+        assert hist.median == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_percentiles_are_monotone_and_bounded(self, samples):
+        hist = Histogram()
+        for sample in samples:
+            hist.record(sample)
+        p50, p90, p99 = hist.percentile(50), hist.percentile(90), hist.percentile(99)
+        epsilon = 1e-9 * (1 + max(samples))  # interpolation rounding slack
+        assert min(samples) - epsilon <= p50 <= p90 + epsilon
+        assert p90 <= p99 + epsilon
+        assert p99 <= max(samples) + epsilon

@@ -1,0 +1,75 @@
+"""TCP options encoding and tolerant parsing."""
+
+from hypothesis import given, strategies as st
+
+from repro.tcp.options import (
+    KIND_NOP,
+    TcpOptions,
+)
+
+
+class TestEncodeDecode:
+    def test_mss_roundtrip(self):
+        opts = TcpOptions(mss=1460)
+        assert TcpOptions.decode(opts.encode()).mss == 1460
+
+    def test_full_roundtrip(self):
+        opts = TcpOptions(
+            mss=1200, window_scale=7, sack_permitted=True, timestamp=(100, 200)
+        )
+        parsed = TcpOptions.decode(opts.encode())
+        assert parsed.mss == 1200
+        assert parsed.window_scale == 7
+        assert parsed.sack_permitted
+        assert parsed.timestamp == (100, 200)
+
+    def test_encoding_is_padded_to_words(self):
+        assert len(TcpOptions(window_scale=2).encode()) % 4 == 0
+        assert len(TcpOptions(mss=1460, sack_permitted=True).encode()) % 4 == 0
+
+    def test_empty_options_encode_empty(self):
+        assert TcpOptions().encode() == b""
+        assert not TcpOptions()
+
+    def test_truthiness(self):
+        assert TcpOptions(mss=536)
+        assert TcpOptions(sack_permitted=True)
+
+
+class TestTolerantParsing:
+    def test_nop_padding_skipped(self):
+        data = bytes([KIND_NOP, KIND_NOP]) + TcpOptions(mss=536).encode()
+        assert TcpOptions.decode(data).mss == 536
+
+    def test_end_of_list_stops_parsing(self):
+        data = TcpOptions(mss=536).encode() + bytes([0]) + b"\xde\xad"
+        assert TcpOptions.decode(data).mss == 536
+
+    def test_unknown_option_collected(self):
+        data = bytes([200, 4, 0xAB, 0xCD])
+        parsed = TcpOptions.decode(data)
+        assert parsed.unknown == [(200, b"\xab\xcd")]
+
+    def test_truncated_option_ignored(self):
+        # Kind byte present but no length byte: parser must not crash.
+        assert TcpOptions.decode(bytes([2])).mss is None
+
+    def test_bad_length_ignored(self):
+        assert TcpOptions.decode(bytes([2, 1])).mss is None  # length < 2
+        assert TcpOptions.decode(bytes([2, 40, 0])).mss is None  # overruns
+
+    @given(st.binary(max_size=40))
+    def test_decode_never_crashes(self, data):
+        TcpOptions.decode(data)
+
+    @given(
+        mss=st.one_of(st.none(), st.integers(min_value=0, max_value=0xFFFF)),
+        wscale=st.one_of(st.none(), st.integers(min_value=0, max_value=14)),
+        sack=st.booleans(),
+    )
+    def test_roundtrip_property(self, mss, wscale, sack):
+        opts = TcpOptions(mss=mss, window_scale=wscale, sack_permitted=sack)
+        parsed = TcpOptions.decode(opts.encode())
+        assert parsed.mss == mss
+        assert parsed.window_scale == wscale
+        assert parsed.sack_permitted == sack

@@ -1,0 +1,94 @@
+"""Sequence arithmetic across the 2^32 wrap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcp.seq import (
+    SEQ_MOD,
+    seq_add,
+    seq_between,
+    seq_ge,
+    seq_gt,
+    seq_in_window,
+    seq_le,
+    seq_lt,
+    seq_max,
+    seq_min,
+    seq_sub,
+)
+
+seqs = st.integers(min_value=0, max_value=SEQ_MOD - 1)
+small = st.integers(min_value=0, max_value=(1 << 30) - 1)
+
+
+class TestBasics:
+    def test_add_wraps(self):
+        assert seq_add(SEQ_MOD - 1, 1) == 0
+        assert seq_add(SEQ_MOD - 10, 25) == 15
+
+    def test_add_negative_delta(self):
+        assert seq_add(5, -10) == SEQ_MOD - 5
+
+    def test_sub_signed_distance(self):
+        assert seq_sub(100, 50) == 50
+        assert seq_sub(50, 100) == -50
+
+    def test_sub_across_wrap(self):
+        near_top = SEQ_MOD - 5
+        assert seq_sub(3, near_top) == 8
+        assert seq_sub(near_top, 3) == -8
+
+    def test_comparisons_across_wrap(self):
+        assert seq_lt(SEQ_MOD - 1, 5)
+        assert seq_gt(5, SEQ_MOD - 1)
+        assert seq_le(7, 7) and seq_ge(7, 7)
+
+    def test_min_max(self):
+        assert seq_max(SEQ_MOD - 1, 5) == 5
+        assert seq_min(SEQ_MOD - 1, 5) == SEQ_MOD - 1
+
+    def test_between(self):
+        assert seq_between(10, 15, 20)
+        assert not seq_between(10, 25, 20)
+        assert seq_between(SEQ_MOD - 5, 2, 10)  # wrapped interval
+
+    def test_window_membership(self):
+        assert seq_in_window(105, 100, 10)
+        assert not seq_in_window(110, 100, 10)  # end-exclusive
+        assert seq_in_window(2, SEQ_MOD - 5, 10)  # wrapped window
+        assert not seq_in_window(50, 100, 0)  # empty window
+
+
+class TestProperties:
+    @given(seqs, small)
+    def test_add_then_sub_roundtrip(self, seq, delta):
+        assert seq_sub(seq_add(seq, delta), seq) == delta
+
+    @given(seqs, small)
+    def test_ordering_consistent_with_distance(self, seq, delta):
+        ahead = seq_add(seq, delta)
+        if delta == 0:
+            assert seq_le(seq, ahead) and seq_ge(seq, ahead)
+        else:
+            assert seq_lt(seq, ahead)
+            assert seq_gt(ahead, seq)
+
+    @given(seqs, seqs)
+    def test_trichotomy(self, a, b):
+        assert seq_lt(a, b) + seq_gt(a, b) + (seq_sub(a, b) == 0) == 1 or (
+            # the exact antipode (distance 2^31) compares as "a > b"
+            abs(seq_sub(a, b)) == 1 << 31
+        )
+
+    @given(seqs, seqs)
+    def test_max_min_partition(self, a, b):
+        assert {seq_max(a, b), seq_min(a, b)} == {a, b}
+
+    @given(seqs, st.integers(min_value=1, max_value=1 << 20), st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_window_contains_its_interior(self, start, length, offset):
+        if offset < length:
+            assert seq_in_window(seq_add(start, offset), start, length)
+
+    @given(seqs, st.integers(min_value=1, max_value=1 << 20))
+    def test_window_excludes_its_end(self, start, length):
+        assert not seq_in_window(seq_add(start, length), start, length)
