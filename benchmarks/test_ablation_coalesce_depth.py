@@ -4,18 +4,20 @@ The scheduler's four 16-entry FIFOs (§4.4.1) merge same-flow events
 while they wait to be routed.  This bench measures the merge rate as the
 offered load grows: deeper backlogs merge more aggressively, which is
 exactly why coalescing removes the FPC bottleneck for bulk streams.
+
+The sweep's points and measurement live in ``repro.lab`` (the
+``ablation-coalesce-depth`` grid), shared with the ``lab run`` CLI.
 """
 
-from repro.analysis.microbench import HeaderRateDesign, measure_header_rate
+from repro.lab.grids import get_grid
 
 
 def _sweep():
-    rows = []
-    design = HeaderRateDesign("1FPC-C", num_fpcs=1, coalescing=True)
-    for offered in (100e6, 300e6, 600e6, 928e6):
-        rate = measure_header_rate(design, "bulk", offered, flows=24, cycles=8000)
-        rows.append((offered, rate))
-    return rows
+    grid = get_grid("ablation-coalesce-depth")
+    return [
+        (point.params["offered"], grid.call(point).scalars["rate"])
+        for point in grid.expand()
+    ]
 
 
 def test_ablation_coalesce_depth(benchmark):

@@ -2,28 +2,22 @@
 
 Coalescing is what lifts same-flow throughput past the FPC's 125 M
 events/s; it must not help (or hurt) different-flow traffic.
+
+The sweep's points and measurement live in ``repro.lab`` (the
+``ablation-coalescing`` grid), so this bench, the ``lab run`` CLI and
+any scripted sweep all execute the same definition.
 """
 
-from repro.analysis.microbench import HeaderRateDesign, measure_header_rate
-from repro.host.calibration import F4T_HEADER_OFFERED_BULK
+from repro.lab.grids import get_grid
 
 
 def _rates():
-    with_c = measure_header_rate(
-        HeaderRateDesign("1FPC-C", num_fpcs=1, coalescing=True),
-        "bulk",
-        F4T_HEADER_OFFERED_BULK,
-        flows=24,
-        cycles=10_000,
-    )
-    without_c = measure_header_rate(
-        HeaderRateDesign("1FPC", num_fpcs=1, coalescing=False),
-        "bulk",
-        F4T_HEADER_OFFERED_BULK,
-        flows=24,
-        cycles=10_000,
-    )
-    return with_c, without_c
+    grid = get_grid("ablation-coalescing")
+    by_coalescing = {
+        point.params["coalescing"]: grid.call(point).scalars["rate"]
+        for point in grid.expand()
+    }
+    return by_coalescing[True], by_coalescing[False]
 
 
 def test_ablation_coalescing(benchmark):

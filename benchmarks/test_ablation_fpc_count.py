@@ -3,21 +3,20 @@
 Each FPC processes 125 M events/s independently; different-flow traffic
 should scale with the FPC count until the scheduler's routing rate
 (one event per location-LUT partition per cycle) caps it.
+
+The sweep's points and measurement live in ``repro.lab`` (the
+``ablation-fpc-count`` grid), shared with the ``lab run`` CLI.
 """
 
-from repro.analysis.microbench import HeaderRateDesign, measure_header_rate
+from repro.lab.grids import get_grid
 
 
 def _sweep():
-    offered = 1.2e9  # above every configuration's capacity
-    rows = []
-    for num_fpcs in (1, 2, 4, 8):
-        design = HeaderRateDesign(f"{num_fpcs}FPC", num_fpcs=num_fpcs, coalescing=False)
-        rate = measure_header_rate(
-            design, "rr", offered, flows=48 * num_fpcs, cycles=10_000
-        )
-        rows.append((num_fpcs, rate))
-    return rows
+    grid = get_grid("ablation-fpc-count")
+    return [
+        (point.params["num_fpcs"], grid.call(point).scalars["rate"])
+        for point in grid.expand()
+    ]
 
 
 def test_ablation_fpc_count(benchmark):

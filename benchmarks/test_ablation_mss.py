@@ -4,53 +4,34 @@ The per-packet overhead is fixed at 78 B (§5.1), so smaller segments
 waste a larger share of the wire.  This bench moves real bytes through
 the functional testbed at several MSS values and checks measured goodput
 tracks the closed-form ``link.max_goodput_gbps(mss)`` shape.
+
+The sweep's points and measurement live in ``repro.lab`` (the
+``ablation-mss`` grid), shared with the ``lab run`` CLI.
 """
 
-from repro.engine.ftengine import FtEngineConfig
-from repro.engine.testbed import Testbed
-from repro.net.link import LINK_100G
-
-
-def _measure(mss: int, total_bytes: int = 300_000) -> float:
-    config = FtEngineConfig(mss=mss)
-    testbed = Testbed(config_a=config, config_b=FtEngineConfig(mss=mss))
-    a_flow, b_flow = testbed.establish()
-    start = testbed.now_s
-    sent = {"n": 0}
-    payload = bytes(16384)
-
-    def pump():
-        if sent["n"] < total_bytes:
-            sent["n"] += testbed.engine_a.send_data(a_flow, payload)
-        readable = testbed.engine_b.readable(b_flow)
-        if readable:
-            testbed.engine_b.recv_data(b_flow, readable)
-            pump.received += readable
-        return pump.received >= total_bytes
-
-    pump.received = 0
-    assert testbed.run(until=pump, max_time_s=start + 5.0)
-    elapsed = testbed.now_s - start
-    return total_bytes * 8 / elapsed / 1e9
+from repro.lab.grids import get_grid
 
 
 def _sweep():
-    return [(mss, _measure(mss)) for mss in (256, 512, 1460)]
+    grid = get_grid("ablation-mss")
+    return [
+        (point.params["mss"], grid.call(point).scalars)
+        for point in grid.expand()
+    ]
 
 
 def test_ablation_mss(benchmark):
     rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     print()
-    for mss, goodput in rows:
-        ceiling = LINK_100G.max_goodput_gbps(mss)
+    for mss, scalars in rows:
         print(
-            f"mss={mss:5d}: measured {goodput:5.1f} Gbps "
-            f"(wire ceiling {ceiling:5.1f} Gbps, "
-            f"{goodput / ceiling * 100:3.0f}% of it)"
+            f"mss={mss:5d}: measured {scalars['goodput_gbps']:5.1f} Gbps "
+            f"(wire ceiling {scalars['ceiling_gbps']:5.1f} Gbps, "
+            f"{scalars['wire_efficiency'] * 100:3.0f}% of it)"
         )
     # Goodput grows with MSS and each point respects its wire ceiling.
-    goodputs = [g for _, g in rows]
+    goodputs = [scalars["goodput_gbps"] for _, scalars in rows]
     assert goodputs == sorted(goodputs)
-    for mss, goodput in rows:
-        assert goodput <= LINK_100G.max_goodput_gbps(mss) * 1.01
-        assert goodput >= 0.3 * LINK_100G.max_goodput_gbps(mss)
+    for _, scalars in rows:
+        assert scalars["goodput_gbps"] <= scalars["ceiling_gbps"] * 1.01
+        assert scalars["goodput_gbps"] >= 0.3 * scalars["ceiling_gbps"]

@@ -3,19 +3,24 @@
 The direct-mapped TCB cache absorbs DRAM traffic for hot flows; with a
 worst-case round-robin pattern larger than the cache, it cannot help,
 while a working set that fits turns swaps free.
+
+The sweep's points and measurement live in ``repro.lab`` (the
+``ablation-tcb-cache`` grid), shared with the ``lab run`` CLI.
 """
 
-from repro.apps.echo import measure_dram_swap_rate
+from repro.lab.grids import get_grid
 
 
 def _sweep():
-    rows = []
-    for cache_entries, flows in ((64, 4096), (512, 4096), (4096, 4096)):
-        rate = measure_dram_swap_rate(
-            "ddr4", flows=flows, transactions=2000, cache_entries=cache_entries
+    grid = get_grid("ablation-tcb-cache")
+    return [
+        (
+            point.params["cache_entries"],
+            point.params["flows"],
+            grid.call(point).scalars["swap_rate"],
         )
-        rows.append((cache_entries, flows, rate))
-    return rows
+        for point in grid.expand()
+    ]
 
 
 def test_ablation_tcb_cache(benchmark):

@@ -5,13 +5,18 @@ Subcommands::
     python -m repro info              # what this package is
     python -m repro report [--quick]  # regenerate every paper exhibit
     python -m repro demo              # the quickstart client/server run
+    python -m repro lab run ...       # parallel, resumable sweeps
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
+
+#: Default run-store location; ``*.sqlite`` is gitignored.
+DEFAULT_LAB_DB = "lab.sqlite"
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
@@ -94,8 +99,150 @@ def _cmd_iperf(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------------ lab
+def _cmd_lab_list(_args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import render_table
+    from repro.lab.grids import available_grids, get_grid
+
+    rows = []
+    for name in available_grids():
+        grid = get_grid(name)
+        rows.append((name, len(grid.expand()), grid.description))
+    print(render_table(["grid", "points", "description"], rows))
+    return 0
+
+
+def _cmd_lab_run(args: argparse.Namespace) -> int:
+    from repro.lab import run_grid
+    from repro.lab.grids import available_grids, get_grids
+
+    if not args.grids:
+        print(
+            "no grid named; available: " + ", ".join(available_grids()),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        grids = get_grids(args.grids, quick=args.quick)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    report = run_grid(
+        grids,
+        args.db,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        max_retries=args.retries,
+        progress=sys.stderr,
+    )
+    return 0 if report.ok else 1
+
+
+def _cmd_lab_status(args: argparse.Namespace) -> int:
+    from repro.lab import RunStore
+    from repro.lab.export import status_table
+
+    with RunStore(args.db) as store:
+        totals = store.totals()
+        if not sum(totals.values()):
+            print(f"{args.db}: no runs recorded yet (try: python -m repro lab list)")
+            return 0
+        print(status_table(store))
+        for record in store.records(status="error"):
+            first_line = (record.error or "").splitlines()[0] if record.error else ""
+            print(
+                f"  error {record.run_id} [{record.experiment}] "
+                f"after {record.attempts} attempts: {first_line}"
+            )
+    return 0
+
+
+def _cmd_lab_retry(args: argparse.Namespace) -> int:
+    from repro.lab import RunStore
+
+    with RunStore(args.db) as store:
+        reclaimed = store.reset_running(args.grids or None)
+        reset = store.reset_errors(args.grids or None)
+    print(
+        f"reset {reset} error run(s) and reclaimed {reclaimed} stale "
+        f"running run(s) to pending; rerun with: python -m repro lab run"
+    )
+    return 0
+
+
+def _cmd_lab_export(args: argparse.Namespace) -> int:
+    from repro.lab import RunStore
+    from repro.lab.export import export_csv, export_markdown
+
+    with RunStore(args.db) as store:
+        if args.csv is not None:
+            text = export_csv(store, experiment=args.grid)
+            if args.csv == "-":
+                sys.stdout.write(text)
+            else:
+                with open(args.csv, "w") as handle:
+                    handle.write(text)
+                print(f"wrote {args.csv}")
+        else:
+            print(export_markdown(store, experiment=args.grid))
+    return 0
+
+
+def _add_lab_parser(subparsers: argparse._SubParsersAction) -> None:
+    lab = subparsers.add_parser(
+        "lab", help="parallel, persistent experiment sweeps (repro.lab)"
+    )
+    lab_sub = lab.add_subparsers(dest="lab_command")
+
+    def add_db(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--db", default=DEFAULT_LAB_DB, help="run-store path (SQLite)"
+        )
+
+    run = lab_sub.add_parser("run", help="sync grid(s) into the store and run them")
+    run.add_argument("grids", nargs="*", help="grid names (see: lab list)")
+    run.add_argument("--workers", type=int, default=1, help="worker processes")
+    run.add_argument("--quick", action="store_true", help="reduced sample counts")
+    run.add_argument("--timeout", type=float, default=300.0, help="per-run seconds")
+    run.add_argument("--retries", type=int, default=2, help="retries per run")
+    add_db(run)
+    run.set_defaults(lab_handler=_cmd_lab_run)
+
+    status = lab_sub.add_parser("status", help="per-grid state counts")
+    add_db(status)
+    status.set_defaults(lab_handler=_cmd_lab_status)
+
+    retry = lab_sub.add_parser("retry", help="reset error/stale runs to pending")
+    retry.add_argument("grids", nargs="*", help="limit to these grids")
+    add_db(retry)
+    retry.set_defaults(lab_handler=_cmd_lab_retry)
+
+    export = lab_sub.add_parser("export", help="dump results (Markdown or CSV)")
+    export.add_argument("grid", nargs="?", default=None, help="one grid (default all)")
+    export.add_argument("--csv", metavar="PATH", help="write CSV here ('-' = stdout)")
+    add_db(export)
+    export.set_defaults(lab_handler=_cmd_lab_export)
+
+    lab_sub.add_parser("list", help="available prebuilt grids").set_defaults(
+        lab_handler=_cmd_lab_list
+    )
+
+
+def _cmd_lab(args: argparse.Namespace) -> int:
+    handler = getattr(args, "lab_handler", None)
+    if handler is None:
+        print("usage: python -m repro lab {run,status,retry,export,list}")
+        return 2
+    return handler(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    import repro
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command")
 
     subparsers.add_parser("info", help="package and design summary")
@@ -110,6 +257,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     iperf.add_argument(
         "--bytes", type=int, default=500_000, help="functional transfer size"
     )
+    _add_lab_parser(subparsers)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -117,11 +265,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "demo": _cmd_demo,
         "iperf": _cmd_iperf,
+        "lab": _cmd_lab,
     }
     if args.command is None:
         parser.print_help()
         return 0
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pipe closed early (e.g. `... lab export | head`).
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

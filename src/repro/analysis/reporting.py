@@ -62,16 +62,37 @@ def format_value(value: Any) -> str:
     return str(value)
 
 
-def render_table(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
-    cells = [[format_value(v) for v in row] for row in rows]
-    widths = [
+def _column_widths(
+    columns: Sequence[str], cells: Sequence[Sequence[str]]
+) -> List[int]:
+    return [
         max(len(str(column)), *(len(row[i]) for row in cells)) if cells else len(str(column))
         for i, column in enumerate(columns)
     ]
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = _column_widths(columns, cells)
     header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
     sep = "  ".join("-" * w for w in widths)
     body = "\n".join("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))) for row in cells)
     return "\n".join([header, sep, body]) if cells else "\n".join([header, sep])
+
+
+def render_markdown_table(
+    columns: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """The same aligned table as :func:`render_table`, as GitHub Markdown."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = _column_widths(columns, cells)
+
+    def line(values: Sequence[str]) -> str:
+        return "| " + " | ".join(v.ljust(w) for v, w in zip(values, widths)) + " |"
+
+    out = [line([str(c) for c in columns]), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
 
 
 def render(result: ExperimentResult) -> str:

@@ -1,0 +1,60 @@
+"""``repro.lab`` — parallel, persistent experiment orchestration.
+
+The repo's per-exhibit drivers and ablation benches are one-shot,
+single-process executions.  This package turns any such driver into a
+*grid* of runs that can be executed by a worker pool, persisted in a
+SQLite store, resumed after a crash, retried on transient failure, and
+exported as CSV/Markdown — the PyExperimenter workflow (SNIPPETS.md
+§2–3) rebuilt natively for this codebase:
+
+* :mod:`repro.lab.grid` — declare an experiment as a driver callable
+  plus a parameter grid; every point gets a stable content-hash run id;
+* :mod:`repro.lab.store` — the SQLite run store: status
+  (``pending/running/done/error``), parameters, result scalars and
+  paper-vs-measured checks, wall time, and provenance (git sha, package
+  version, calibration-constants hash, seed);
+* :mod:`repro.lab.runner` — a ``multiprocessing`` worker pool that
+  claims pending runs transactionally, enforces per-run timeouts,
+  retries transient failures with capped backoff, and skips points
+  already ``done`` (incremental caching / resume);
+* :mod:`repro.lab.export` — CSV and aligned-Markdown dumps of a grid's
+  results, reusing :mod:`repro.analysis.reporting`;
+* :mod:`repro.lab.drivers` — importable driver functions wrapping the
+  exhibit drivers and the ablation micro-benchmarks;
+* :mod:`repro.lab.grids` — the registry of prebuilt grids (one per
+  exhibit family and ablation bench) shared by the CLI and the benches.
+
+Quick start::
+
+    from repro.lab import ExperimentGrid, RunStore, run_grid
+
+    grid = ExperimentGrid(
+        name="mss-sweep",
+        driver="repro.lab.drivers:ablation_mss_point",
+        domains={"mss": [256, 512, 1460]},
+    )
+    report = run_grid(grid, "lab.sqlite", workers=4)
+
+or, from the shell::
+
+    python -m repro lab run ablation-mss --workers 4
+    python -m repro lab status
+    python -m repro lab export ablation-mss --csv mss.csv
+"""
+
+from .grid import ExperimentGrid, GridPoint, PointResult, provenance, resolve_driver
+from .runner import GridRunReport, run_grid
+from .store import RunRecord, RunStore, STATUSES
+
+__all__ = [
+    "ExperimentGrid",
+    "GridPoint",
+    "PointResult",
+    "GridRunReport",
+    "RunRecord",
+    "RunStore",
+    "STATUSES",
+    "provenance",
+    "resolve_driver",
+    "run_grid",
+]

@@ -1,0 +1,119 @@
+"""Importable driver functions for the prebuilt grids.
+
+Every function here is a *point driver*: it computes one grid point from
+keyword parameters and returns either a flat mapping of scalar names to
+numbers or a full :class:`~repro.analysis.reporting.ExperimentResult`
+(the exhibit wrapper does the latter, so paper-vs-measured checks land
+in the store too).  Workers resolve these by dotted path
+(``repro.lab.drivers:ablation_mss_point``), which is why they live at
+module level and take only plain, JSON-representable parameters.
+
+The ablation drivers are the single definition of each ablation sweep's
+*measurement*; the sweep's *points* live in :mod:`repro.lab.grids`, and
+``benchmarks/test_ablation_*.py`` consume both — model and bench share
+one definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.reporting import ExperimentResult
+
+
+# --------------------------------------------------------------- exhibits
+def run_exhibit(exhibit: str, quick: bool = False) -> ExperimentResult:
+    """One paper exhibit (``table1`` … ``figure16b``) as a grid point."""
+    from ..analysis.report import _QUICKABLE
+    from ..analysis.experiments import ALL_EXPERIMENTS
+
+    driver = ALL_EXPERIMENTS[exhibit]
+    if quick and exhibit in _QUICKABLE:
+        return driver(quick=True)
+    return driver()
+
+
+# ------------------------------------------------- ablation: header rates
+def ablation_header_point(
+    num_fpcs: int,
+    coalescing: bool,
+    workload: str = "bulk",
+    offered: Optional[float] = None,
+    flows: Optional[int] = None,
+    cycles: int = 10_000,
+) -> Dict[str, float]:
+    """Consumed header-event rate of one scheduler/FPC design point.
+
+    This is the common measurement behind the coalescing, FPC-count and
+    coalesce-depth ablations (Fig 16b's axes, swept independently).
+    ``offered`` defaults to the paper's 24-core submission rate for the
+    workload; ``flows`` defaults to the bench conventions (24 same-flow
+    streams for bulk, 48 flows per FPC for round-robin).
+    """
+    from ..analysis.microbench import HeaderRateDesign, measure_header_rate
+    from ..host.calibration import F4T_HEADER_OFFERED_BULK, F4T_HEADER_OFFERED_RR
+
+    if offered is None:
+        offered = (
+            F4T_HEADER_OFFERED_BULK if workload == "bulk" else F4T_HEADER_OFFERED_RR
+        )
+    if flows is None:
+        flows = 24 if workload == "bulk" else 48 * num_fpcs
+    design = HeaderRateDesign(
+        f"{num_fpcs}FPC{'-C' if coalescing else ''}",
+        num_fpcs=num_fpcs,
+        coalescing=coalescing,
+    )
+    rate = measure_header_rate(design, workload, offered, flows, cycles=cycles)
+    return {"rate": rate, "offered": offered, "absorbed": min(1.0, rate / offered)}
+
+
+# --------------------------------------------------- ablation: MSS sweep
+def ablation_mss_point(mss: int, total_bytes: int = 300_000) -> Dict[str, float]:
+    """Functional goodput at one MSS, plus its closed-form wire ceiling."""
+    from ..engine.ftengine import FtEngineConfig
+    from ..engine.testbed import Testbed
+    from ..net.link import LINK_100G
+
+    testbed = Testbed(
+        config_a=FtEngineConfig(mss=mss), config_b=FtEngineConfig(mss=mss)
+    )
+    a_flow, b_flow = testbed.establish()
+    start = testbed.now_s
+    sent = {"n": 0, "received": 0}
+    payload = bytes(16384)
+
+    def pump() -> bool:
+        if sent["n"] < total_bytes:
+            sent["n"] += testbed.engine_a.send_data(a_flow, payload)
+        readable = testbed.engine_b.readable(b_flow)
+        if readable:
+            testbed.engine_b.recv_data(b_flow, readable)
+            sent["received"] += readable
+        return sent["received"] >= total_bytes
+
+    if not testbed.run(until=pump, max_time_s=start + 5.0):
+        raise RuntimeError(f"mss={mss}: transfer did not finish in simulated time")
+    goodput_gbps = total_bytes * 8 / (testbed.now_s - start) / 1e9
+    ceiling = LINK_100G.max_goodput_gbps(mss)
+    return {
+        "goodput_gbps": goodput_gbps,
+        "ceiling_gbps": ceiling,
+        "wire_efficiency": goodput_gbps / ceiling,
+    }
+
+
+# ---------------------------------------------- ablation: TCB cache sweep
+def ablation_tcb_cache_point(
+    cache_entries: int,
+    flows: int = 4096,
+    transactions: int = 2000,
+    memory: str = "ddr4",
+) -> Dict[str, float]:
+    """DRAM swap-transaction rate for one TCB-cache size."""
+    from ..apps.echo import measure_dram_swap_rate
+
+    rate = measure_dram_swap_rate(
+        memory, flows=flows, transactions=transactions, cache_entries=cache_entries
+    )
+    return {"swap_rate": rate}

@@ -1,0 +1,162 @@
+"""The registry of prebuilt grids.
+
+Each factory returns an :class:`~repro.lab.grid.ExperimentGrid` whose
+driver is a dotted path into :mod:`repro.lab.drivers`.  These are the
+single source of truth for the sweep points: the CLI (``python -m repro
+lab run <name>``) executes them through the store/worker machinery, and
+``benchmarks/test_ablation_*.py`` iterate the very same points
+in-process — so a point added here shows up in both.
+
+``quick=True`` shrinks sample counts for smoke runs; because a point's
+run id hashes its parameters, quick and full results never collide in
+the store.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from .grid import ExperimentGrid
+
+GridFactory = Callable[[bool], ExperimentGrid]
+
+GRID_FACTORIES: Dict[str, GridFactory] = {}
+
+
+def register_grid(name: str) -> Callable[[GridFactory], GridFactory]:
+    def decorate(factory: GridFactory) -> GridFactory:
+        GRID_FACTORIES[name] = factory
+        return factory
+
+    return decorate
+
+
+def available_grids() -> List[str]:
+    return sorted(GRID_FACTORIES)
+
+
+def get_grid(name: str, quick: bool = False) -> ExperimentGrid:
+    try:
+        factory = GRID_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown grid {name!r}; available: {', '.join(available_grids())}"
+        ) from None
+    return factory(quick)
+
+
+def get_grids(names: Sequence[str], quick: bool = False) -> List[ExperimentGrid]:
+    return [get_grid(name, quick) for name in (names or available_grids())]
+
+
+# ----------------------------------------------------------- the exhibits
+@register_grid("exhibits")
+def exhibits_grid(quick: bool = False) -> ExperimentGrid:
+    """All 15 paper exhibits, one point each (Figs 1–16, Tables 1–2)."""
+    from ..analysis.report import EXHIBIT_ORDER
+
+    return ExperimentGrid(
+        name="exhibits",
+        driver="repro.lab.drivers:run_exhibit",
+        domains={"exhibit": list(EXHIBIT_ORDER)},
+        base={"quick": quick},
+        description="every paper exhibit driver, checks recorded per point",
+    )
+
+
+# ---------------------------------------------------------- the ablations
+@register_grid("ablation-coalescing")
+def ablation_coalescing_grid(quick: bool = False) -> ExperimentGrid:
+    """Event coalescing on/off for bulk same-flow traffic (§4.4.1)."""
+    return ExperimentGrid(
+        name="ablation-coalescing",
+        driver="repro.lab.drivers:ablation_header_point",
+        domains={"coalescing": [True, False]},
+        base={
+            "num_fpcs": 1,
+            "workload": "bulk",
+            "cycles": 4_000 if quick else 10_000,
+        },
+        description="coalescing lifts same-flow bulk past the 125M FPC limit",
+    )
+
+
+@register_grid("ablation-fpc-count")
+def ablation_fpc_count_grid(quick: bool = False) -> ExperimentGrid:
+    """Different-flow throughput vs FPC count (§4.4.2)."""
+    return ExperimentGrid(
+        name="ablation-fpc-count",
+        driver="repro.lab.drivers:ablation_header_point",
+        domains={"num_fpcs": [1, 2, 4, 8]},
+        base={
+            "coalescing": False,
+            "workload": "rr",
+            "offered": 1.2e9,
+            "cycles": 4_000 if quick else 10_000,
+        },
+        description="round-robin event rate scales with FPCs to the routing cap",
+    )
+
+
+@register_grid("ablation-coalesce-depth")
+def ablation_coalesce_depth_grid(quick: bool = False) -> ExperimentGrid:
+    """Merge rate vs offered bulk load on the coalesce FIFOs (§4.4.1)."""
+    return ExperimentGrid(
+        name="ablation-coalesce-depth",
+        driver="repro.lab.drivers:ablation_header_point",
+        domains={"offered": [100e6, 300e6, 600e6, 928e6]},
+        base={
+            "num_fpcs": 1,
+            "coalescing": True,
+            "workload": "bulk",
+            "flows": 24,
+            "cycles": 3_000 if quick else 8_000,
+        },
+        description="deeper backlogs merge more; consumed tracks offered",
+    )
+
+
+@register_grid("ablation-mss")
+def ablation_mss_grid(quick: bool = False) -> ExperimentGrid:
+    """Functional goodput vs maximum segment size (78 B overhead, §5.1)."""
+    return ExperimentGrid(
+        name="ablation-mss",
+        driver="repro.lab.drivers:ablation_mss_point",
+        domains={"mss": [256, 512, 1460]},
+        base={"total_bytes": 100_000 if quick else 300_000},
+        description="goodput tracks link.max_goodput_gbps(mss) across MSS",
+    )
+
+
+@register_grid("ablation-tcb-cache")
+def ablation_tcb_cache_grid(quick: bool = False) -> ExperimentGrid:
+    """Memory-manager TCB cache size vs DRAM swap rate (§4.3.1)."""
+    return ExperimentGrid(
+        name="ablation-tcb-cache",
+        driver="repro.lab.drivers:ablation_tcb_cache_point",
+        domains={"cache_entries": [64, 512, 4096]},
+        base={"flows": 4096, "transactions": 500 if quick else 2000},
+        description="a covering cache turns swaps into bare write-backs",
+    )
+
+
+@register_grid("ablation-matrix")
+def ablation_matrix_grid(quick: bool = False) -> ExperimentGrid:
+    """The 12-point scheduler/FPC design matrix (FlexTOE-style sweep).
+
+    FPC count x coalescing x workload — every intermediate design of
+    Fig 16b plus the combinations the paper skips, in one grid.  This is
+    the showcase sweep for parallel execution: 12 independent
+    cycle-simulation points.
+    """
+    return ExperimentGrid(
+        name="ablation-matrix",
+        driver="repro.lab.drivers:ablation_header_point",
+        domains={
+            "num_fpcs": [1, 2, 8],
+            "coalescing": [False, True],
+            "workload": ["bulk", "rr"],
+        },
+        base={"cycles": 3_000 if quick else 10_000},
+        description="FPC count x coalescing x workload, 12 points",
+    )

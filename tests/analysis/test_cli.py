@@ -34,6 +34,22 @@ class TestCli:
         assert "event rate vs FPU latency" in out
         assert "+----" in out  # the ASCII canvas frame
 
+    def test_report_exits_nonzero_on_failing_checks(self, capsys, monkeypatch):
+        """CI gates on this: an out-of-tolerance exhibit fails the run."""
+        from repro.analysis import report
+        from repro.analysis.reporting import ExperimentResult
+
+        def failing_driver():
+            result = ExperimentResult(
+                exhibit="Table 1", title="t", columns=["c"], rows=[(1,)]
+            )
+            result.check("headline", paper=100.0, measured=1.0, tolerance=0.05)
+            return result
+
+        monkeypatch.setitem(report.ALL_EXPERIMENTS, "table1", failing_driver)
+        assert main(["report", "table1"]) == 1
+        assert "1 with out-of-tolerance checks" in capsys.readouterr().out
+
     def test_iperf(self, capsys):
         assert main(["iperf", "--size", "128", "--cores", "2", "--bytes", "200000"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""Synthetic grid drivers for the lab tests.
+
+They live in an importable module (not inside test functions) because
+worker processes re-resolve drivers by dotted path.  File-based side
+effects let the tests observe which points actually executed across
+process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+
+def record_point(
+    x: int, log_path: str, sleep_s: float = 0.0, seed: Optional[int] = None
+) -> Dict[str, float]:
+    """Append ``x`` to ``log_path`` (one line per execution) and square it."""
+    if sleep_s:
+        time.sleep(sleep_s)
+    with open(log_path, "a") as handle:
+        handle.write(f"{x}\n")
+    return {"square": float(x * x), "seed_used": float(seed or 0)}
+
+
+def flaky_point(x: int, state_dir: str, fail_times: int) -> Dict[str, float]:
+    """Fail the first ``fail_times`` executions of each point, then pass."""
+    marker = os.path.join(state_dir, f"fail-{x}")
+    count = 0
+    if os.path.exists(marker):
+        with open(marker) as handle:
+            count = int(handle.read())
+    if count < fail_times:
+        with open(marker, "w") as handle:
+            handle.write(str(count + 1))
+        raise RuntimeError(f"transient failure #{count + 1} for x={x}")
+    return {"x": float(x), "attempts_needed": float(count + 1)}
+
+
+def sleepy_point(sleep_s: float, x: int = 0) -> Dict[str, float]:
+    time.sleep(sleep_s)
+    return {"x": float(x)}
+
+
+def broken_point(x: int) -> Dict[str, float]:
+    raise ValueError(f"always broken (x={x})")
