@@ -1,0 +1,47 @@
+"""Benchmark: short-connection churn rate vs concurrency.
+
+Connection setup/teardown as the workload — the AccelTCP case (§2.3)
+F4T answers by processing handshakes and teardowns in hardware.  The
+sweep's points and measurement live in ``repro.lab`` (the ``churn-rate``
+grid, backed by a :mod:`repro.traffic` per-request scenario), shared
+with the ``lab run`` CLI.
+"""
+
+from repro.lab.grids import get_grid
+
+
+def _sweep():
+    grid = get_grid("churn-rate", quick=True)
+    return [
+        (
+            point.params["concurrency"],
+            point.params["connections"],
+            grid.call(point).scalars,
+        )
+        for point in grid.expand()
+    ]
+
+
+def test_churn_rate_scales_with_concurrency(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    for concurrency, connections, scalars in rows:
+        print(
+            f"concurrency={concurrency:2d} -> "
+            f"{scalars['connections_per_s']:7.1f} conn/s "
+            f"(lifecycle median {scalars['lifecycle_median_ms']:.1f} ms, "
+            f"p99 {scalars['lifecycle_p99_ms']:.1f} ms)"
+        )
+    by_concurrency = {row[0]: row[2] for row in rows}
+    # Every point completes all its transactions.
+    for concurrency, connections, scalars in rows:
+        assert scalars["connections_completed"] == connections
+    # Churn transactions overlap: more slots means more connections/s.
+    assert (
+        by_concurrency[4]["connections_per_s"]
+        > 2 * by_concurrency[1]["connections_per_s"]
+    )
+    # The per-transaction lifecycle is dominated by TIME_WAIT (~10 ms)
+    # no matter how many slots run in parallel.
+    for concurrency, _, scalars in rows:
+        assert scalars["lifecycle_median_ms"] >= 5.0

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro info              # what this package is
     python -m repro report [--quick]  # regenerate every paper exhibit
     python -m repro demo              # the quickstart client/server run
+    python -m repro traffic run ...   # scenario-driven load generation
     python -m repro lab run ...       # parallel, resumable sweeps
 """
 
@@ -97,6 +98,133 @@ def _cmd_iperf(args: argparse.Namespace) -> int:
     print("(the functional run is a single unpaced flow on the simulated "
           "wire; the modelled number includes the calibrated host terms)")
     return 0
+
+
+# -------------------------------------------------------------- traffic
+def _cmd_traffic_list(_args: argparse.Namespace) -> int:
+    from repro.traffic import available_scenarios, get_scenario
+
+    for name in available_scenarios():
+        print(get_scenario(name).describe())
+        print()
+    return 0
+
+
+def _cmd_traffic_run(args: argparse.Namespace) -> int:
+    from repro.traffic import get_scenario, run_scenario, run_scenario_model
+
+    try:
+        scenario = get_scenario(args.scenario, seed=args.seed)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    tap = None
+    if args.backend == "model":
+        if args.pcap or args.audit:
+            print("--pcap/--audit need the functional backend", file=sys.stderr)
+            return 2
+        result = run_scenario_model(scenario, load_scale=args.load_scale)
+    else:
+        from repro.engine.testbed import Testbed
+        from repro.traffic import LoadEngine
+
+        testbed = Testbed(wire=scenario.build_wire())
+        if args.pcap:
+            from repro.net.pcap import WireTap
+
+            tap = WireTap.attach(testbed.wire.port_a)
+        engine = LoadEngine(
+            scenario, testbed=testbed,
+            load_scale=args.load_scale, audit=args.audit,
+        )
+        result = engine.run()
+    print(result.summary())
+    print(result.table())
+    if args.csv is not None:
+        if args.csv == "-":
+            sys.stdout.write(result.to_csv())
+        else:
+            with open(args.csv, "w") as handle:
+                handle.write(result.to_csv())
+            print(f"wrote {args.csv}")
+    if tap is not None and args.pcap:
+        packets = tap.save(args.pcap)
+        print(f"wrote {args.pcap} ({packets} packets)")
+    if result.violations:
+        for violation in result.violations:
+            print(f"  invariant violation: {violation}", file=sys.stderr)
+        return 1
+    return 0 if result.finished else 1
+
+
+def _cmd_traffic_sweep(args: argparse.Namespace) -> int:
+    from repro.traffic import get_scenario, sweep_load
+
+    try:
+        scenario = get_scenario(args.scenario, seed=args.seed)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    loads = [float(x) for x in args.loads.split(",")]
+    result = sweep_load(scenario, loads, backend=args.backend)
+    print(result.summary())
+    print(result.table())
+    if args.csv is not None:
+        rows = result.rows()
+        header = ",".join(rows[0].keys())
+        lines = [header] + [
+            ",".join(str(v) for v in row.values()) for row in rows
+        ]
+        text = "\n".join(lines) + "\n"
+        if args.csv == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.csv, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.csv}")
+    return 0
+
+
+def _add_traffic_parser(subparsers: argparse._SubParsersAction) -> None:
+    traffic = subparsers.add_parser(
+        "traffic", help="scenario-driven load generation (repro.traffic)"
+    )
+    traffic_sub = traffic.add_subparsers(dest="traffic_command")
+
+    run = traffic_sub.add_parser("run", help="run one scenario")
+    run.add_argument("scenario", help="scenario name (see: traffic list)")
+    run.add_argument("--seed", type=int, default=None, help="top-level seed")
+    run.add_argument("--load-scale", type=float, default=1.0,
+                     help="multiply every open-loop arrival rate")
+    run.add_argument("--backend", choices=["functional", "model"],
+                     default="functional")
+    run.add_argument("--audit", action="store_true",
+                     help="run invariant monitors during the run")
+    run.add_argument("--csv", metavar="PATH", help="write per-class CSV ('-' = stdout)")
+    run.add_argument("--pcap", metavar="PATH", help="capture the wire to a pcap file")
+    run.set_defaults(traffic_handler=_cmd_traffic_run)
+
+    sweep = traffic_sub.add_parser("sweep", help="latency-vs-load sweep")
+    sweep.add_argument("scenario", help="scenario name (see: traffic list)")
+    sweep.add_argument("--seed", type=int, default=None, help="top-level seed")
+    sweep.add_argument("--loads", default="0.5,1,2,4,8,12,16,24",
+                       help="comma-separated load scales")
+    sweep.add_argument("--backend", choices=["functional", "model"],
+                       default="model")
+    sweep.add_argument("--csv", metavar="PATH", help="write sweep CSV ('-' = stdout)")
+    sweep.set_defaults(traffic_handler=_cmd_traffic_sweep)
+
+    traffic_sub.add_parser(
+        "list", help="available scenarios"
+    ).set_defaults(traffic_handler=_cmd_traffic_list)
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    handler = getattr(args, "traffic_handler", None)
+    if handler is None:
+        print("usage: python -m repro traffic {run,sweep,list}")
+        return 2
+    return handler(args)
 
 
 # ------------------------------------------------------------------ lab
@@ -257,6 +385,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     iperf.add_argument(
         "--bytes", type=int, default=500_000, help="functional transfer size"
     )
+    _add_traffic_parser(subparsers)
     _add_lab_parser(subparsers)
 
     args = parser.parse_args(argv)
@@ -265,6 +394,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "demo": _cmd_demo,
         "iperf": _cmd_iperf,
+        "traffic": _cmd_traffic,
         "lab": _cmd_lab,
     }
     if args.command is None:

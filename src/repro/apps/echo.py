@@ -11,7 +11,7 @@ F4T-with-DRAM (38 GB/s, throttled past 1024 flows) from F4T-with-HBM
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..engine.memory_manager import MemoryManager
 from ..engine.testbed import Testbed
@@ -20,6 +20,27 @@ from ..host.calibration import F4T_CYCLES_PER_ECHO
 from ..host.cpu import CpuModel
 from ..sim.memory import DRAMModel
 from ..tcp.tcb import Tcb
+from ..traffic import Fixed, Scenario, TrafficClass, run_scenario
+
+
+def echo_scenario(
+    flows: int = 4, rounds: int = 10, payload_bytes: int = 128
+) -> Scenario:
+    """The echo benchmark as a traffic scenario: closed-loop ping-pong."""
+    return Scenario(
+        name="echo",
+        description="closed-loop ping-pong over persistent connections",
+        server_port=7,
+        classes=[
+            TrafficClass(
+                name="echo",
+                request=Fixed(payload_bytes),
+                response=Fixed(payload_bytes),
+                connections=flows,
+                rounds=rounds,
+            )
+        ],
+    )
 
 
 def run_functional_echo(
@@ -29,52 +50,20 @@ def run_functional_echo(
     testbed: Optional[Testbed] = None,
     max_time_s: float = 2.0,
 ) -> float:
-    """Real ping-pong over ``flows`` connections; returns transactions/s."""
-    tb = testbed if testbed is not None else Testbed()
-    tb.engine_b.listen(7)
-    a_flows = [tb.engine_a.connect(tb.engine_b.ip, 7) for _ in range(flows)]
-    b_flows: List[int] = []
+    """Real ping-pong over ``flows`` connections; returns transactions/s.
 
-    def accepted() -> bool:
-        flow = tb.engine_b.accept(7)
-        if flow is not None:
-            b_flows.append(flow)
-        return len(b_flows) == flows
-
-    if not tb.run(until=accepted, max_time_s=max_time_s):
-        raise TimeoutError("echo setup failed")
-
-    start_s = tb.now_s
-    payload = bytes(payload_bytes)
-    # Client sends first message on every flow; server echoes; client
-    # replies again, ``rounds`` times per flow.
-    pending = {flow: rounds for flow in a_flows}
-    for flow in a_flows:
-        tb.engine_a.send_data(flow, payload)
-    completed = 0
-    total = flows * rounds
-
-    def pump() -> bool:
-        nonlocal completed
-        for flow in b_flows:  # server: echo whatever arrived
-            readable = tb.engine_b.readable(flow)
-            if readable >= payload_bytes:
-                data = tb.engine_b.recv_data(flow, payload_bytes)
-                tb.engine_b.send_data(flow, data)
-        for flow in a_flows:  # client: next round on response
-            readable = tb.engine_a.readable(flow)
-            if readable >= payload_bytes:
-                tb.engine_a.recv_data(flow, payload_bytes)
-                completed += 1
-                if pending[flow] > 1:
-                    pending[flow] -= 1
-                    tb.engine_a.send_data(flow, payload)
-        return completed >= total
-
-    if not tb.run(until=pump, max_time_s=start_s + max_time_s):
-        raise TimeoutError(f"echo stalled at {completed}/{total}")
-    elapsed = max(tb.now_s - start_s, 1e-12)
-    return completed / elapsed
+    A thin preset over :mod:`repro.traffic`: each flow is a persistent
+    closed-loop connection sending the next payload only after the
+    previous echo lands — the worst-case TCB locality pattern.
+    """
+    result = run_scenario(
+        echo_scenario(flows, rounds, payload_bytes),
+        testbed=testbed,
+        setup_time_s=max_time_s,
+        run_time_s=max_time_s,
+        raise_on_incomplete=True,
+    )
+    return result.classes["echo"].achieved_rps
 
 
 def measure_dram_swap_rate(

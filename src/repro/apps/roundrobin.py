@@ -9,16 +9,39 @@ target (Table 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..engine.testbed import Testbed
 from ..host.calibration import F4T_CYCLES_PER_SEND_RR
 from ..host.cpu import CpuModel
 from ..host.pcie import PcieModel
 from ..net.link import LINK_100G, Link
+from ..traffic import Fixed, Scenario, TrafficClass, run_scenario
 from .iperf import BulkResult
 
 FLOWS_PER_CORE = 16
+
+
+def round_robin_scenario(
+    flows: int = FLOWS_PER_CORE,
+    requests_per_flow: int = 64,
+    request_bytes: int = 128,
+) -> Scenario:
+    """Round-robin requests as a traffic scenario: one-way streams."""
+    return Scenario(
+        name="roundrobin",
+        description="closed-loop one-way request streams over many flows",
+        server_port=80,
+        classes=[
+            TrafficClass(
+                name="rr",
+                request=Fixed(request_bytes),
+                response=Fixed(0),
+                connections=flows,
+                rounds=requests_per_flow,
+            )
+        ],
+    )
 
 
 def run_functional_round_robin(
@@ -28,46 +51,26 @@ def run_functional_round_robin(
     testbed: Optional[Testbed] = None,
     max_time_s: float = 1.0,
 ) -> BulkResult:
-    """Drive real round-robin requests over ``flows`` connections."""
-    tb = testbed if testbed is not None else Testbed()
-    tb.engine_b.listen(80)
-    a_flows: List[int] = [tb.engine_a.connect(tb.engine_b.ip, 80) for _ in range(flows)]
-    b_flows: List[int] = []
+    """Drive real round-robin requests over ``flows`` connections.
 
-    def all_accepted() -> bool:
-        flow = tb.engine_b.accept(80)
-        if flow is not None:
-            b_flows.append(flow)
-        return len(b_flows) == flows
-
-    if not tb.run(until=all_accepted, max_time_s=max_time_s):
-        raise TimeoutError("round-robin connection setup failed")
-
-    start_s = tb.now_s
-    payload = bytes(request_bytes)
-    total = flows * requests_per_flow * request_bytes
-    sent = [0] * flows
-    received = 0
-
-    def pump() -> bool:
-        nonlocal received
-        # One request per flow per visit: round-robin order.
-        for i, flow in enumerate(a_flows):
-            if sent[i] < requests_per_flow * request_bytes:
-                sent[i] += tb.engine_a.send_data(flow, payload)
-        for flow in b_flows:
-            readable = tb.engine_b.readable(flow)
-            if readable:
-                received += len(tb.engine_b.recv_data(flow, readable))
-        return received >= total
-
-    if not tb.run(until=pump, max_time_s=start_s + max_time_s):
-        raise TimeoutError(f"round-robin transfer stalled at {received}/{total} B")
-    elapsed = max(tb.now_s - start_s, 1e-12)
+    A thin preset over :mod:`repro.traffic`: each flow is a persistent
+    closed-loop connection pipelining one-way requests, so FtEngine sees
+    events of *different* flows back to back.  Delivery to the server
+    side is completion; ``bytes_delivered`` counts request bytes only.
+    """
+    result = run_scenario(
+        round_robin_scenario(flows, requests_per_flow, request_bytes),
+        testbed=testbed,
+        setup_time_s=max_time_s,
+        run_time_s=max_time_s,
+        raise_on_incomplete=True,
+    )
+    metrics = result.classes["rr"]
+    elapsed = result.elapsed_s
     return BulkResult(
-        goodput_gbps=received * 8 / elapsed / 1e9,
-        requests_per_s=received / request_bytes / elapsed,
-        bytes_delivered=received,
+        goodput_gbps=metrics.bytes_delivered * 8 / elapsed / 1e9,
+        requests_per_s=metrics.bytes_delivered / request_bytes / elapsed,
+        bytes_delivered=metrics.bytes_delivered,
         elapsed_s=elapsed,
         bottleneck="functional",
     )

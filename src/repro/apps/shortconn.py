@@ -16,10 +16,11 @@ load and measuring the reproduction's own connections/s.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..engine.testbed import Testbed
 from ..sim.stats import Histogram
+from ..traffic import PER_REQUEST, Fixed, Scenario, TrafficClass, run_scenario
 
 
 @dataclass
@@ -35,6 +36,27 @@ class ChurnResult:
         return self.connections_completed / self.elapsed_s
 
 
+def churn_preset(
+    connections: int = 10, request_bytes: int = 64, concurrency: int = 4
+) -> Scenario:
+    """Connection churn as a traffic scenario: per-request lifecycle."""
+    return Scenario(
+        name="shortconn",
+        description="closed-loop per-request churn (connect/req/resp/close)",
+        server_port=80,
+        classes=[
+            TrafficClass(
+                name="churn",
+                request=Fixed(request_bytes),
+                response=Fixed(request_bytes),
+                lifecycle=PER_REQUEST,
+                connections=min(concurrency, connections),
+                transactions=connections,
+            )
+        ],
+    )
+
+
 def run_connection_churn(
     connections: int = 10,
     request_bytes: int = 64,
@@ -44,64 +66,18 @@ def run_connection_churn(
 ) -> ChurnResult:
     """Run ``connections`` short transactions, ``concurrency`` at a time.
 
-    Every transaction allocates a fresh flow (new ports, new TCB, new
+    A thin preset over :mod:`repro.traffic`'s per-request lifecycle:
+    every transaction allocates a fresh flow (new ports, new TCB, new
     cuckoo entries) and fully tears it down, so flow IDs, CAM slots and
-    accept queues must all recycle correctly.
+    accept queues must all recycle correctly.  A transaction counts only
+    once both directions have vanished from the engines — TIME_WAIT
+    lingering included.
     """
-    tb = testbed if testbed is not None else Testbed()
-    tb.engine_b.listen(80)
-    request = bytes(request_bytes)
-    latencies = Histogram("lifecycle")
-    start_s = tb.now_s
-
-    # Per-slot state machine: each slot runs one transaction at a time.
-    IDLE, CONNECTING, SERVING, CLOSING = range(4)
-    slots: List[dict] = [
-        {"state": IDLE, "a_flow": None, "b_flow": None, "t0": 0.0}
-        for _ in range(min(concurrency, connections))
-    ]
-    started = 0
-    completed = 0
-    accepted_queue: List[int] = []
-
-    def pump() -> bool:
-        nonlocal started, completed
-        flow = tb.engine_b.accept(80)
-        if flow is not None:
-            accepted_queue.append(flow)
-        for slot in slots:
-            if slot["state"] == IDLE and started < connections:
-                slot["a_flow"] = tb.engine_a.connect(tb.engine_b.ip, 80)
-                slot["t0"] = tb.now_s
-                slot["state"] = CONNECTING
-                started += 1
-                tb.engine_a.send_data(slot["a_flow"], request)
-            elif slot["state"] == CONNECTING:
-                if slot["b_flow"] is None and accepted_queue:
-                    slot["b_flow"] = accepted_queue.pop(0)
-                if slot["b_flow"] is not None:
-                    readable = tb.engine_b.readable(slot["b_flow"])
-                    if readable >= request_bytes:
-                        data = tb.engine_b.recv_data(slot["b_flow"], readable)
-                        tb.engine_b.send_data(slot["b_flow"], data)  # echo
-                        slot["state"] = SERVING
-            elif slot["state"] == SERVING:
-                if tb.engine_a.readable(slot["a_flow"]) >= request_bytes:
-                    tb.engine_a.recv_data(slot["a_flow"], request_bytes)
-                    tb.engine_a.close_flow(slot["a_flow"])
-                    tb.engine_b.close_flow(slot["b_flow"])
-                    slot["state"] = CLOSING
-            elif slot["state"] == CLOSING:
-                gone_a = slot["a_flow"] not in tb.engine_a.flows
-                gone_b = slot["b_flow"] not in tb.engine_b.flows
-                if gone_a and gone_b:
-                    latencies.record(tb.now_s - slot["t0"])
-                    completed += 1
-                    slot.update(state=IDLE, a_flow=None, b_flow=None)
-        return completed >= connections
-
-    if not tb.run(until=pump, max_time_s=max_time_s):
-        raise TimeoutError(
-            f"churn stalled: {completed}/{connections} transactions"
-        )
-    return ChurnResult(completed, max(tb.now_s - start_s, 1e-12), latencies)
+    result = run_scenario(
+        churn_preset(connections, request_bytes, concurrency),
+        testbed=testbed,
+        run_time_s=max_time_s,
+        raise_on_incomplete=True,
+    )
+    metrics = result.classes["churn"]
+    return ChurnResult(metrics.completed, result.elapsed_s, metrics.lifecycle)

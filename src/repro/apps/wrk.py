@@ -1,20 +1,21 @@
 """wrk-style HTTP load generator (§5.2).
 
 The functional counterpart of :func:`repro.apps.nginx.simulate_closed_loop`:
-drives real GET requests over library sockets against a functional
-:class:`~repro.apps.nginx.NginxServer` on the two-engine testbed and
-measures per-request latency in *simulated* time.
+drives GET-sized requests and 256 B responses over real connections on
+the two-engine testbed and measures per-request latency in *simulated*
+time.  Since the harness frames requests by byte counts, the wire
+carries the exact ``http_get()`` request and response sizes of the
+nginx exhibit without a protocol parser in the loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass
 
 from ..engine.testbed import Testbed
-from ..host.library import F4TLibrary
 from ..sim.stats import Histogram
-from .nginx import NginxServer, RESPONSE_BYTES, http_get
+from ..traffic import Fixed, Scenario, TrafficClass, run_scenario
+from .nginx import RESPONSE_BYTES, http_get
 
 
 @dataclass
@@ -28,60 +29,42 @@ class WrkResult:
         return self.requests_completed / self.elapsed_s if self.elapsed_s else 0.0
 
 
+def wrk_scenario(
+    connections: int = 4, requests_per_connection: int = 8
+) -> Scenario:
+    """The wrk exhibit as a traffic scenario: closed-loop HTTP GETs."""
+    return Scenario(
+        name="wrk",
+        description="closed-loop GET/256B-response over persistent conns",
+        server_port=80,
+        classes=[
+            TrafficClass(
+                name="wrk",
+                request=Fixed(len(http_get())),
+                response=Fixed(RESPONSE_BYTES),
+                connections=connections,
+                rounds=requests_per_connection,
+            )
+        ],
+    )
+
+
 def run_functional_wrk(
     connections: int = 4,
     requests_per_connection: int = 8,
     testbed: Testbed = None,
     max_time_s: float = 2.0,
 ) -> WrkResult:
-    """Closed-loop GETs over real connections; returns rate + latencies."""
-    tb = testbed if testbed is not None else Testbed()
-    server_lib = F4TLibrary(
-        tb.engine_b, pump=lambda cond, t: tb.run(until=cond, max_time_s=tb.now_s + t)
+    """Closed-loop GETs over real connections; returns rate + latencies.
+
+    A thin preset over :mod:`repro.traffic`'s persistent closed loop.
+    """
+    result = run_scenario(
+        wrk_scenario(connections, requests_per_connection),
+        testbed=testbed,
+        setup_time_s=max_time_s,
+        run_time_s=max_time_s,
+        raise_on_incomplete=True,
     )
-    client_lib = F4TLibrary(
-        tb.engine_a, pump=lambda cond, t: tb.run(until=cond, max_time_s=tb.now_s + t)
-    )
-    server = NginxServer(server_lib, port=80)
-
-    client_flows: List[int] = [
-        tb.engine_a.connect(tb.engine_b.ip, 80) for _ in range(connections)
-    ]
-    # Wait for all connections to establish while the server accepts.
-    if not tb.run(
-        until=lambda: (
-            server.poll_accept(),
-            len(server.connections) == connections,
-        )[-1],
-        max_time_s=max_time_s,
-    ):
-        raise TimeoutError("wrk connections failed to establish")
-
-    latencies = Histogram("wrk-latency")
-    start_s = tb.now_s
-    request = http_get()
-    issue_time = {flow: tb.now_s for flow in client_flows}
-    remaining = {flow: requests_per_connection for flow in client_flows}
-    for flow in client_flows:
-        tb.engine_a.send_data(flow, request)
-        issue_time[flow] = tb.now_s
-    completed = 0
-    total = connections * requests_per_connection
-
-    def pump() -> bool:
-        nonlocal completed
-        server.serve_ready()
-        for flow in client_flows:
-            if tb.engine_a.readable(flow) >= RESPONSE_BYTES:
-                tb.engine_a.recv_data(flow, RESPONSE_BYTES)
-                latencies.record(tb.now_s - issue_time[flow])
-                completed += 1
-                remaining[flow] -= 1
-                if remaining[flow] > 0:
-                    tb.engine_a.send_data(flow, request)
-                    issue_time[flow] = tb.now_s
-        return completed >= total
-
-    if not tb.run(until=pump, max_time_s=start_s + max_time_s):
-        raise TimeoutError(f"wrk run stalled at {completed}/{total}")
-    return WrkResult(completed, max(tb.now_s - start_s, 1e-12), latencies)
+    metrics = result.classes["wrk"]
+    return WrkResult(metrics.completed, result.elapsed_s, metrics.latencies)

@@ -75,11 +75,15 @@ class Testbed:
         until: Optional[Callable[[], bool]] = None,
         max_time_s: float = 1.0,
         max_steps: int = 50_000_000,
+        wakeup_ps: Optional[Callable[[], Optional[float]]] = None,
     ) -> bool:
         """Run until ``until()`` holds; returns False on time/step bound.
 
         With no predicate, runs until everything is idle (all queues
-        empty, nothing in flight, no timers pending).
+        empty, nothing in flight, no timers pending).  ``wakeup_ps``
+        lets a driver announce externally scheduled work (e.g. the next
+        open-loop traffic arrival) so idle-skip jumps exactly there
+        instead of fast-forwarding in blind chunks past it.
         """
         max_time_ps = max_time_s * 1e12
         steps = 0
@@ -99,6 +103,14 @@ class Testbed:
                 )
                 if not busy:
                     wakeup = self._next_wakeup_ps()
+                    if wakeup_ps is not None:
+                        external = wakeup_ps()
+                        if external is not None and external > self.time_ps:
+                            wakeup = (
+                                external
+                                if wakeup is None
+                                else min(wakeup, external)
+                            )
                     if wakeup is None:
                         if until is None:
                             return True  # fully idle and nothing awaited

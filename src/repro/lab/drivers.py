@@ -103,6 +103,62 @@ def ablation_mss_point(mss: int, total_bytes: int = 300_000) -> Dict[str, float]
     }
 
 
+# -------------------------------------------------- traffic: scenario runs
+def traffic_scenario_point(
+    scenario: str,
+    seed: int = 0,
+    load_scale: float = 1.0,
+    backend: str = "functional",
+    audit: bool = True,
+) -> Dict[str, float]:
+    """One traffic scenario at one offered-load scale, either backend."""
+    from ..traffic import get_scenario, run_scenario, run_scenario_model
+
+    sc = get_scenario(scenario, seed=seed)
+    if backend == "model":
+        result = run_scenario_model(sc, load_scale=load_scale)
+    else:
+        result = run_scenario(sc, load_scale=load_scale, audit=audit)
+    scalars: Dict[str, float] = {
+        "offered": result.offered,
+        "completed": result.completed,
+        "offered_rps": result.offered_rps,
+        "achieved_rps": result.achieved_rps,
+        "goodput_gbps": result.goodput_gbps,
+        "p50_us": result.p50_s * 1e6,
+        "p99_us": result.p99_s * 1e6,
+        "frames_dropped": result.frames_dropped,
+        "violations": len(result.violations),
+        "finished": int(result.finished),
+    }
+    for name, metrics in result.classes.items():
+        scalars[f"{name}_achieved_rps"] = metrics.achieved_rps
+        scalars[f"{name}_p99_us"] = metrics.p99_s * 1e6
+    return scalars
+
+
+def traffic_churn_point(
+    connections: int,
+    concurrency: int,
+    request_bytes: int = 64,
+) -> Dict[str, float]:
+    """Connection churn rate at one concurrency level."""
+    from ..apps.shortconn import run_connection_churn
+
+    result = run_connection_churn(
+        connections=connections,
+        concurrency=concurrency,
+        request_bytes=request_bytes,
+    )
+    return {
+        "connections_per_s": result.connections_per_s,
+        "connections_completed": result.connections_completed,
+        "lifecycle_median_ms": result.lifecycle_latencies.median * 1e3,
+        "lifecycle_p99_ms": result.lifecycle_latencies.p99 * 1e3,
+        "elapsed_s": result.elapsed_s,
+    }
+
+
 # ---------------------------------------------- ablation: TCB cache sweep
 def ablation_tcb_cache_point(
     cache_entries: int,

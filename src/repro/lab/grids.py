@@ -64,6 +64,51 @@ def exhibits_grid(quick: bool = False) -> ExperimentGrid:
     )
 
 
+# ------------------------------------------------------------ the traffic
+@register_grid("traffic-scenarios")
+def traffic_scenarios_grid(quick: bool = False) -> ExperimentGrid:
+    """Every registered traffic scenario once, on the functional testbed."""
+    from ..traffic import available_scenarios
+
+    scenarios = available_scenarios()
+    if quick:
+        scenarios = [s for s in scenarios if s not in ("churn",)]
+    return ExperimentGrid(
+        name="traffic-scenarios",
+        driver="repro.lab.drivers:traffic_scenario_point",
+        domains={"scenario": scenarios},
+        base={"backend": "functional", "audit": True},
+        description="each traffic scenario end-to-end, invariants audited",
+    )
+
+
+@register_grid("traffic-load")
+def traffic_load_grid(quick: bool = False) -> ExperimentGrid:
+    """Offered-load sweep of the rpc scenario on the calibrated model."""
+    return ExperimentGrid(
+        name="traffic-load",
+        driver="repro.lab.drivers:traffic_scenario_point",
+        domains={
+            "load_scale": [1.0, 4.0, 12.0] if quick
+            else [0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0],
+        },
+        base={"scenario": "rpc", "backend": "model"},
+        description="latency-vs-load curve points (model backend, dense)",
+    )
+
+
+@register_grid("churn-rate")
+def churn_rate_grid(quick: bool = False) -> ExperimentGrid:
+    """Connections/s vs churn concurrency (per-request lifecycle)."""
+    return ExperimentGrid(
+        name="churn-rate",
+        driver="repro.lab.drivers:traffic_churn_point",
+        domains={"concurrency": [1, 2, 4, 8]},
+        base={"connections": 6 if quick else 12},
+        description="short-connection churn rate scales with concurrency",
+    )
+
+
 # ---------------------------------------------------------- the ablations
 @register_grid("ablation-coalescing")
 def ablation_coalescing_grid(quick: bool = False) -> ExperimentGrid:

@@ -9,6 +9,7 @@ congestion-window experiments inject "occasional packet drops".
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import random
 from typing import Callable, List, Optional, Tuple
@@ -18,6 +19,18 @@ from .link import Link, LINK_100G
 
 FaultFn = Callable[[EthernetFrame, int], bool]
 DelayFn = Callable[[EthernetFrame, int], float]
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """A stable sub-seed for one named RNG stream under a master seed.
+
+    Content-hash based (not ``hash()``, which is salted per process), so
+    every stream — each wire direction's drop/reorder RNG, each traffic
+    class's arrival and size RNGs — is reproducible across runs from one
+    top-level seed, and adding a new stream never perturbs the others.
+    """
+    digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class LossPattern:
@@ -44,6 +57,31 @@ class LossPattern:
     def explicit(indices: List[int]) -> FaultFn:
         targets = set(indices)
         return lambda frame, index: index in targets
+
+
+class DelayPattern:
+    """Factory for extra-delay functions (reordering/jitter injection).
+
+    A delayed frame can arrive after frames transmitted later, which is
+    how reordering is injected: the wire itself always serializes FIFO.
+    """
+
+    @staticmethod
+    def none() -> Optional[DelayFn]:
+        return None
+
+    @staticmethod
+    def reorder(p: float, delay_us: float = 10.0, seed: int = 1) -> DelayFn:
+        """Hold each frame back by ``delay_us`` with probability ``p``."""
+        rng = random.Random(seed)
+        delay_ps = delay_us * 1e6
+        return lambda frame, index: delay_ps if rng.random() < p else 0.0
+
+    @staticmethod
+    def jitter(max_us: float, seed: int = 1) -> DelayFn:
+        """Uniform random extra delay in [0, max_us] per frame."""
+        rng = random.Random(seed)
+        return lambda frame, index: rng.random() * max_us * 1e6
 
 
 class _Direction:
@@ -127,6 +165,45 @@ class Wire:
         self._ba = _Direction(link, drop_b_to_a or LossPattern.none(), delay_b_to_a)
         self.port_a = WirePort(outbound=self._ab, inbound=self._ba)
         self.port_b = WirePort(outbound=self._ba, inbound=self._ab)
+
+    @classmethod
+    def impaired(
+        cls,
+        seed: int,
+        drop_probability: float = 0.0,
+        reorder_probability: float = 0.0,
+        reorder_delay_us: float = 10.0,
+        link: Link = LINK_100G,
+    ) -> "Wire":
+        """A duplex wire with seeded loss/reordering on both directions.
+
+        One top-level ``seed`` determines every impairment decision; the
+        four underlying RNG streams are derived per direction and per
+        fault kind with :func:`derive_seed`, so identical seeds replay
+        identical drop/reorder patterns bit for bit.
+        """
+        def drops(label: str) -> Optional[FaultFn]:
+            if drop_probability <= 0:
+                return None
+            return LossPattern.probability(
+                drop_probability, seed=derive_seed(seed, label)
+            )
+
+        def delays(label: str) -> Optional[DelayFn]:
+            if reorder_probability <= 0:
+                return None
+            return DelayPattern.reorder(
+                reorder_probability, reorder_delay_us,
+                seed=derive_seed(seed, label),
+            )
+
+        return cls(
+            link=link,
+            drop_a_to_b=drops("drop-a2b"),
+            drop_b_to_a=drops("drop-b2a"),
+            delay_a_to_b=delays("reorder-a2b"),
+            delay_b_to_a=delays("reorder-b2a"),
+        )
 
     @property
     def in_flight(self) -> int:

@@ -81,6 +81,12 @@ class Histogram:
         self._samples.append(value)
         self._sorted = False
 
+    @property
+    def samples(self) -> List[float]:
+        """The raw samples, sorted (for merging histograms)."""
+        self._ensure_sorted()
+        return list(self._samples)
+
     def _ensure_sorted(self) -> None:
         if not self._sorted:
             self._samples.sort()

@@ -1,0 +1,142 @@
+"""Calibrated pipeline-model backend for traffic scenarios.
+
+The functional backend executes every packet; this one runs the *same*
+seeded schedule through an open-loop multi-server queueing simulation
+whose per-request service time comes from the calibrated host constants
+(`repro.host.calibration`) plus a byte-granular link term — the F4T
+pipeline abstracted to "CPU issue + wire time".  It is orders of
+magnitude faster, which is what makes dense latency-vs-load sweeps and
+big offered-load grids practical; EXPERIMENTS.md labels its exhibits
+*simulated/calibrated*, never paper-checked.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..host.calibration import F4T_CYCLES_PER_ECHO, HOST_CPU_FREQ_HZ
+from ..net.link import LINK_100G, Link
+from ..net.wire import derive_seed
+from .engine import ClassMetrics, ScenarioResult
+from .scenario import Scenario
+
+#: Service-time jitter of the modelled F4T host path (tight, §5.2-style).
+_SERVICE_SIGMA = 0.15
+
+
+def _service_s(
+    rng: random.Random, request_bytes: int, response_bytes: int, link: Link
+) -> float:
+    """How long one request occupies its connection.
+
+    Requests serialize per connection (as in the functional engine), so
+    a "server" here is a connection held for the full round trip: two
+    propagation delays plus calibrated CPU issue cycles plus the
+    byte-granular serialization of request and response.
+    """
+    cpu = F4T_CYCLES_PER_ECHO / HOST_CPU_FREQ_HZ
+    wire = (
+        link.wire_bytes(request_bytes) + link.wire_bytes(max(1, response_bytes))
+    ) / link.bytes_per_second
+    normalizer = math.exp(_SERVICE_SIGMA * _SERVICE_SIGMA / 2)
+    jitter = rng.lognormvariate(0.0, _SERVICE_SIGMA) / normalizer
+    return 2 * link.propagation_delay_us * 1e-6 + (cpu + wire) * jitter
+
+
+def run_scenario_model(
+    scenario: Scenario,
+    load_scale: float = 1.0,
+    servers: Optional[int] = None,
+    link: Link = LINK_100G,
+) -> ScenarioResult:
+    """Open-loop G/G/k simulation of the scenario's schedule.
+
+    ``servers`` defaults to the scenario's total connection count — the
+    natural concurrency limit of serialized request/response traffic.
+    Only open-loop classes are supported (closed loops self-pace against
+    the real engines; there is nothing calibrated to model there).
+    """
+    closed = [c.name for c in scenario.classes if not c.open_loop]
+    if closed:
+        raise ValueError(
+            "model backend needs open-loop classes; closed-loop: "
+            + ", ".join(closed)
+        )
+    if servers is None:
+        servers = sum(c.connections for c in scenario.classes)
+    schedule = scenario.schedule(load_scale)
+    rng = random.Random(derive_seed(scenario.seed, f"{scenario.name}/model"))
+
+    metrics: Dict[str, ClassMetrics] = {}
+    for cls in scenario.classes:
+        m = ClassMetrics(cls.name)
+        m.offered = sum(1 for r in schedule if r.cls == cls.name)
+        m.offered_rps = m.offered / scenario.duration_s
+        metrics[cls.name] = m
+
+    #: (completion_time, seq) min-heap of busy servers.
+    busy: List[Tuple[float, int]] = []
+    free = servers
+    queue: List[Tuple[float, int]] = []  # (arrival_s, schedule index)
+    queued_head = 0
+    now = 0.0
+    seq = 0
+
+    def finish_one(start_s: float, index: int) -> float:
+        request = schedule[index]
+        service = _service_s(
+            rng, request.request_bytes, request.response_bytes, link
+        )
+        done = start_s + service
+        m = metrics[request.cls]
+        m.completed += 1
+        m.bytes_delivered += request.request_bytes + request.response_bytes
+        m.latencies.record(done - request.time_s)
+        return done
+
+    for index, request in enumerate(schedule):
+        arrival = request.time_s
+        # Drain servers that finish before this arrival.
+        while busy and busy[0][0] <= arrival:
+            done, _ = heapq.heappop(busy)
+            now = done
+            if queued_head < len(queue):
+                _, queued_index = queue[queued_head]
+                queued_head += 1
+                heapq.heappush(busy, (finish_one(done, queued_index), seq))
+                seq += 1
+            else:
+                free += 1
+        now = max(now, arrival)
+        if free > 0:
+            free -= 1
+            heapq.heappush(busy, (finish_one(arrival, index), seq))
+        else:
+            queue.append((arrival, index))
+        seq += 1
+    # Drain the backlog.
+    while busy:
+        done, _ = heapq.heappop(busy)
+        now = max(now, done)
+        if queued_head < len(queue):
+            _, queued_index = queue[queued_head]
+            queued_head += 1
+            heapq.heappush(busy, (finish_one(done, queued_index), seq))
+            seq += 1
+
+    elapsed = max(now, scenario.duration_s, 1e-12)
+    for m in metrics.values():
+        m.achieved_rps = m.completed / elapsed
+        m.goodput_gbps = m.bytes_delivered * 8 / elapsed / 1e9
+    return ScenarioResult(
+        scenario=scenario.name,
+        backend="model",
+        seed=scenario.seed,
+        load_scale=load_scale,
+        elapsed_s=elapsed,
+        finished=True,
+        classes=metrics,
+    )

@@ -1,0 +1,177 @@
+"""Latency-vs-load sweeps and knee detection.
+
+Sweeping ``load_scale`` over a scenario and plotting a latency
+percentile against achieved load is *the* canonical transport-stack
+exhibit (F4T Fig. 11 style): flat at low load, a knee where queueing
+takes over, then a wall.  :func:`sweep_load` runs the sweep on either
+backend and :func:`detect_knee` finds the knee with the kneedle
+max-distance-from-chord rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from .engine import ScenarioResult, run_scenario
+from .model import run_scenario_model
+from .scenario import Scenario
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: a load scale and the result it produced."""
+
+    load_scale: float
+    offered_rps: float
+    achieved_rps: float
+    p50_s: float
+    p99_s: float
+    goodput_gbps: float
+    result: ScenarioResult = field(repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full latency-vs-load curve plus its detected knee."""
+
+    scenario: str
+    backend: str
+    points: List[SweepPoint]
+    #: Index into ``points`` of the detected knee, or None if flat.
+    knee_index: Optional[int]
+
+    @property
+    def knee(self) -> Optional[SweepPoint]:
+        return None if self.knee_index is None else self.points[self.knee_index]
+
+    def monotone_latency(self, tolerance: float = 0.10) -> bool:
+        """True when p99 never *drops* by more than ``tolerance``.
+
+        Open-loop percentiles wobble at low load, so "monotone" means
+        non-decreasing up to a fractional tolerance — the shape check
+        the acceptance criteria ask for, not strict inequality.
+        """
+        p99s = [p.p99_s for p in self.points]
+        return all(
+            b >= a * (1.0 - tolerance) for a, b in zip(p99s, p99s[1:])
+        )
+
+    def rows(self) -> List[dict]:
+        return [
+            {
+                "load_scale": p.load_scale,
+                "offered_rps": p.offered_rps,
+                "achieved_rps": p.achieved_rps,
+                "p50_us": p.p50_s * 1e6,
+                "p99_us": p.p99_s * 1e6,
+                "goodput_gbps": p.goodput_gbps,
+                "knee": "*" if self.knee_index is not None
+                and self.points[self.knee_index] is p else "",
+            }
+            for p in self.points
+        ]
+
+    def table(self) -> str:
+        from ..analysis.reporting import render_table
+
+        rows = self.rows()
+        columns = list(rows[0].keys())
+        return render_table(columns, [[r[c] for c in columns] for r in rows])
+
+    def summary(self) -> str:
+        head = (
+            f"sweep[{self.scenario}/{self.backend}]: "
+            f"{len(self.points)} points"
+        )
+        if self.knee is not None:
+            head += (
+                f", knee at load x{self.knee.load_scale:g} "
+                f"({self.knee.offered_rps:.3g} rps offered, "
+                f"p99={self.knee.p99_s * 1e6:.3g}us)"
+            )
+        else:
+            head += ", no knee detected"
+        return head
+
+
+def detect_knee(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    min_rise: float = 0.05,
+    min_total_rise: float = 1.0,
+) -> Optional[int]:
+    """Kneedle-style knee: the point farthest below the first-last chord.
+
+    A latency-vs-load curve is convex increasing — flat, then a wall —
+    so after normalizing both axes to [0, 1] the knee is the sample with
+    the maximum vertical distance *below* the straight line joining the
+    curve's endpoints.  Returns None for degenerate or near-linear
+    curves (max distance < ``min_rise``), and for curves that never
+    leave the flat region (total rise below ``min_total_rise`` as a
+    fraction of the low-load latency) — normalizing a flat curve would
+    only amplify measurement noise into a fake knee.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must be the same length")
+    if len(xs) < 3:
+        return None
+    x0, x1 = xs[0], xs[-1]
+    y0, y1 = min(ys), max(ys)
+    if x1 <= x0 or y1 <= y0:
+        return None
+    if y1 - y0 < min_total_rise * y0:
+        return None
+    best_index, best_distance = None, min_rise
+    for i in range(1, len(xs) - 1):
+        nx = (xs[i] - x0) / (x1 - x0)
+        ny = (ys[i] - y0) / (y1 - y0)
+        chord = (ys[0] - y0) / (y1 - y0) + nx * (ys[-1] - ys[0]) / (y1 - y0)
+        distance = chord - ny
+        if distance > best_distance:
+            best_index, best_distance = i, distance
+    return best_index
+
+
+def sweep_load(
+    scenario: Scenario,
+    load_scales: Sequence[float],
+    backend: str = "model",
+    run: Optional[Callable[[Scenario, float], ScenarioResult]] = None,
+) -> SweepResult:
+    """Run the scenario at each load scale and locate the latency knee.
+
+    ``backend`` picks the calibrated model (fast — the default for
+    dense sweeps) or the functional two-engine testbed ("functional").
+    A custom ``run`` callable overrides both, for tests.
+    """
+    if run is None:
+        if backend == "model":
+            run = lambda sc, ls: run_scenario_model(sc, load_scale=ls)
+        elif backend == "functional":
+            run = lambda sc, ls: run_scenario(sc, load_scale=ls)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+    points: List[SweepPoint] = []
+    for load_scale in sorted(load_scales):
+        result = run(scenario, load_scale)
+        points.append(
+            SweepPoint(
+                load_scale=load_scale,
+                offered_rps=result.offered_rps,
+                achieved_rps=result.achieved_rps,
+                p50_s=result.p50_s,
+                p99_s=result.p99_s,
+                goodput_gbps=result.goodput_gbps,
+                result=result,
+            )
+        )
+    knee = detect_knee(
+        [p.offered_rps for p in points], [p.p99_s for p in points]
+    )
+    return SweepResult(
+        scenario=scenario.name,
+        backend=backend,
+        points=points,
+        knee_index=knee,
+    )

@@ -1,0 +1,66 @@
+"""Latency-vs-load sweeps: curve shape and knee detection."""
+
+import pytest
+
+from repro.traffic import detect_knee, get_scenario, sweep_load
+
+
+class TestDetectKnee:
+    def test_finds_hockey_stick_elbow(self):
+        xs = [1, 2, 3, 4, 5, 6, 7, 8]
+        ys = [1, 1, 1.1, 1.2, 2, 8, 30, 100]
+        knee = detect_knee(xs, ys)
+        assert knee in (4, 5)  # where the wall starts
+
+    def test_flat_curve_has_no_knee(self):
+        xs = [1, 2, 3, 4, 5]
+        assert detect_knee(xs, [4.0, 4.1, 4.0, 4.2, 4.1]) is None
+
+    def test_linear_curve_has_no_knee(self):
+        xs = [1, 2, 3, 4, 5]
+        assert detect_knee(xs, [10, 20, 30, 40, 50]) is None
+
+    def test_degenerate_inputs(self):
+        assert detect_knee([1, 2], [1, 2]) is None
+        assert detect_knee([1, 1, 1], [1, 2, 3]) is None
+        with pytest.raises(ValueError):
+            detect_knee([1, 2, 3], [1, 2])
+
+
+class TestModelSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_load(
+            get_scenario("rpc"),
+            [0.5, 1, 2, 4, 8, 12, 16, 24],
+            backend="model",
+        )
+
+    def test_curve_is_monotone_with_a_knee(self, sweep):
+        assert sweep.monotone_latency()
+        assert sweep.knee is not None
+        # Before the knee the system keeps up; past it, it saturates.
+        assert sweep.knee.load_scale >= 4
+        last = sweep.points[-1]
+        assert last.achieved_rps < 0.5 * last.offered_rps
+
+    def test_points_sorted_by_load(self, sweep):
+        loads = [p.load_scale for p in sweep.points]
+        assert loads == sorted(loads)
+
+    def test_rendering(self, sweep):
+        assert "knee" in sweep.table()
+        assert "knee at load" in sweep.summary()
+
+
+class TestFunctionalSweep:
+    def test_small_functional_sweep_runs(self):
+        sweep = sweep_load(get_scenario("rpc"), [0.5, 1, 2], backend="functional")
+        assert len(sweep.points) == 3
+        assert sweep.monotone_latency()
+        for point in sweep.points:
+            assert point.result.finished
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_load(get_scenario("rpc"), [1.0], backend="quantum")
