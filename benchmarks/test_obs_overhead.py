@@ -1,0 +1,70 @@
+"""Tracing must be free when disabled.
+
+Every emit site in the stack is guarded by ``if self.trace is not None``
+and :func:`repro.obs.attach_engine` is layer-aware: components whose
+layers are masked off on the bus get a literal ``None``.  This benchmark
+pins that discipline — a run with a bus attached but every engine layer
+masked must stay within 5% of a run with no bus at all.
+
+Methodology: the two variants are timed *interleaved* (variant A, then
+B, then A, ...) so drift in machine load hits both equally, and the
+comparison uses min-of-N, the standard low-noise estimator for
+best-case runtime.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.testbed import Testbed
+from repro.obs import TraceBus, attach_testbed
+
+ROUNDS = 7
+PAYLOAD = 40_000
+TOLERANCE = 1.05  # disabled tracing within 5% of baseline
+
+
+def _run_workload(bus) -> None:
+    testbed = Testbed()
+    if bus is not None:
+        attach_testbed(testbed, bus)
+    a_flow, b_flow = testbed.establish()
+    testbed.engine_a.send_data(a_flow, b"z" * PAYLOAD)
+    finished = testbed.run(
+        until=lambda: testbed.engine_b.readable(b_flow) >= PAYLOAD,
+        max_time_s=0.1,
+    )
+    assert finished
+
+
+def _time_once(bus) -> float:
+    start = time.perf_counter()
+    _run_workload(bus)
+    return time.perf_counter() - start
+
+
+def test_disabled_tracing_is_free():
+    # A bus that traces only the traffic layer: every engine component's
+    # attach resolves to trace=None, exactly the untraced fast path.
+    masked = TraceBus(layers=["traffic"])
+    baseline_samples = []
+    disabled_samples = []
+    _time_once(None)  # warm caches before the measured rounds
+    for _ in range(ROUNDS):
+        baseline_samples.append(_time_once(None))
+        disabled_samples.append(_time_once(masked))
+    assert len(masked) == 0  # nothing leaked through the mask
+    baseline = min(baseline_samples)
+    disabled = min(disabled_samples)
+    assert disabled <= baseline * TOLERANCE, (
+        f"masked-bus run {disabled * 1e3:.2f}ms vs "
+        f"baseline {baseline * 1e3:.2f}ms (> {TOLERANCE:.0%})"
+    )
+
+
+def test_enabled_tracing_is_bounded_not_free():
+    """Sanity inverse: a fully enabled bus actually records the run."""
+    bus = TraceBus()
+    _run_workload(bus)
+    assert len(bus) > 0
+    assert {event.layer for event in bus.events} >= {"engine.tx", "engine.rx"}

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro demo              # the quickstart client/server run
     python -m repro traffic run ...   # scenario-driven load generation
     python -m repro lab run ...       # parallel, resumable sweeps
+    python -m repro obs summary ...   # inspect exported traces
 """
 
 from __future__ import annotations
@@ -119,9 +120,12 @@ def _cmd_traffic_run(args: argparse.Namespace) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     tap = None
+    bus = None
+    engine = None
     if args.backend == "model":
-        if args.pcap or args.audit:
-            print("--pcap/--audit need the functional backend", file=sys.stderr)
+        if args.pcap or args.audit or args.trace or args.metrics:
+            print("--pcap/--audit/--trace/--metrics need the functional "
+                  "backend", file=sys.stderr)
             return 2
         result = run_scenario_model(scenario, load_scale=args.load_scale)
     else:
@@ -137,6 +141,24 @@ def _cmd_traffic_run(args: argparse.Namespace) -> int:
             scenario, testbed=testbed,
             load_scale=args.load_scale, audit=args.audit,
         )
+        if args.trace:
+            from repro.obs import (
+                DEFAULT_MAX_EVENTS, TraceBus, attach_load_engine,
+            )
+
+            try:
+                layers = (
+                    args.trace_layers.split(",") if args.trace_layers else None
+                )
+                bus = TraceBus(
+                    layers=layers,
+                    max_events=args.trace_events or DEFAULT_MAX_EVENTS,
+                    sampling=args.trace_sampling,
+                )
+            except ValueError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            attach_load_engine(engine, bus)
         result = engine.run()
     print(result.summary())
     print(result.table())
@@ -150,6 +172,25 @@ def _cmd_traffic_run(args: argparse.Namespace) -> int:
     if tap is not None and args.pcap:
         packets = tap.save(args.pcap)
         print(f"wrote {args.pcap} ({packets} packets)")
+    if bus is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, bus.events)
+        dropped = f", {bus.dropped} dropped" if bus.dropped else ""
+        print(f"wrote {args.trace} ({len(bus.events)} events{dropped}; "
+              f"load into https://ui.perfetto.dev, or: "
+              f"python -m repro obs summary {args.trace})")
+    if args.metrics and engine is not None:
+        from repro.obs import collect_traced_run
+
+        registry = collect_traced_run(engine.testbed, result)
+        snapshot = registry.snapshot()
+        if args.metrics == "-":
+            sys.stdout.write(snapshot.to_csv())
+        else:
+            with open(args.metrics, "w") as handle:
+                handle.write(snapshot.to_csv())
+            print(f"wrote {args.metrics} ({len(snapshot.rows)} metric rows)")
     if result.violations:
         for violation in result.violations:
             print(f"  invariant violation: {violation}", file=sys.stderr)
@@ -202,6 +243,16 @@ def _add_traffic_parser(subparsers: argparse._SubParsersAction) -> None:
                      help="run invariant monitors during the run")
     run.add_argument("--csv", metavar="PATH", help="write per-class CSV ('-' = stdout)")
     run.add_argument("--pcap", metavar="PATH", help="capture the wire to a pcap file")
+    run.add_argument("--trace", metavar="PATH",
+                     help="write a Chrome/Perfetto trace-event JSON")
+    run.add_argument("--trace-layers", metavar="L1,L2,...", default=None,
+                     help="layers to trace (default all; 'engine' = engine.*)")
+    run.add_argument("--trace-events", type=int, default=None,
+                     help="event cap (default 250000)")
+    run.add_argument("--trace-sampling", choices=["head", "reservoir"],
+                     default="head", help="policy once the cap is hit")
+    run.add_argument("--metrics", metavar="PATH",
+                     help="write the labeled metrics snapshot CSV ('-' = stdout)")
     run.set_defaults(traffic_handler=_cmd_traffic_run)
 
     sweep = traffic_sub.add_parser("sweep", help="latency-vs-load sweep")
@@ -387,6 +438,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_traffic_parser(subparsers)
     _add_lab_parser(subparsers)
+    from repro.obs.cli import add_obs_parser, main as obs_main
+
+    add_obs_parser(subparsers)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -396,6 +450,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "iperf": _cmd_iperf,
         "traffic": _cmd_traffic,
         "lab": _cmd_lab,
+        "obs": obs_main,
     }
     if args.command is None:
         parser.print_help()

@@ -83,6 +83,10 @@ class FlowProcessingCore(Component):
         self.events_accepted = 0
         self.tcbs_processed = 0
 
+        #: Observability (repro.obs): a TraceBus, or None (free default).
+        self.trace = None
+        self.trace_name = self.name
+
     # -------------------------------------------------------------- flows
     @property
     def flow_count(self) -> int:
@@ -198,6 +202,11 @@ class FlowProcessingCore(Component):
             return
         self.event_handler.handle(slot, event)
         self.events_accepted += 1
+        if self.trace is not None:
+            self.trace.emit(
+                self.now_fn() * 1e12, "engine.fpc", self.trace_name,
+                "handle", event.flow_id, event.kind.value,
+            )
         self._mark_pending(event.flow_id)
 
     def _dispatch_one(self) -> None:
@@ -249,6 +258,11 @@ class FlowProcessingCore(Component):
                 self.event_table.clear(slot)
                 tcb.evict_flag = False
                 self.out_evicted.append(tcb)
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.now_fn() * 1e12, "engine.fpc", self.trace_name,
+                        "evict", tcb.flow_id, tcb.state.value,
+                    )
                 continue
             current_slot = self.cam.try_lookup(tcb.flow_id)
             if current_slot is not None:

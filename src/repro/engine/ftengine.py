@@ -162,6 +162,12 @@ class FtEngine(Component):
 
         self.counters = Counters()
 
+        #: Observability (repro.obs): a TraceBus, or None — the default —
+        #: which keeps every emit site at one attribute test of cost.
+        self.trace = None
+        self.trace_name = self.name
+        self._trace_last_state: Dict[int, TcpState] = {}
+
     # ------------------------------------------------------------- threads
     def register_thread(self, thread_id: int) -> None:
         """Attach an application thread (its own queues, §4.6)."""
@@ -344,6 +350,11 @@ class FtEngine(Component):
 
     # ------------------------------------------------------------- events
     def _submit(self, event: TcpEvent) -> None:
+        if self.trace is not None:
+            self.trace.emit(
+                self.time_ps, "engine.sched", f"{self.trace_name}/events",
+                "event", event.flow_id, _event_detail(event),
+            )
         if self._event_backlog or not self.scheduler.submit(event):
             self._event_backlog.append(event)
 
@@ -394,11 +405,36 @@ class FtEngine(Component):
 
     def _drain_one_fpc(self, fpc) -> None:
         for result in fpc.drain_results():
+            if self.trace is not None:
+                self._trace_fpu(fpc, result)
             self._apply_result(result)
         if fpc.out_evicted:
             # Evicted TCBs are collected by the scheduler next tick;
             # nothing to do here (they stay queued on the FPC).
             pass
+
+    def _trace_fpu(self, fpc, result: ProcessResult) -> None:
+        """One FPU pass (and any state transition) onto the trace bus."""
+        tcb = result.tcb
+        component = f"{self.trace_name}/fpc{fpc.fpc_id}"
+        directives = ", ".join(
+            f"seq={d.seq}+{d.length}{' RTX' if d.retransmission else ''}"
+            for d in result.directives
+        )
+        self.trace.emit(
+            self.time_ps, "engine.fpc", component, "fpu", tcb.flow_id,
+            f"una={tcb.snd_una} nxt={tcb.snd_nxt} cwnd={tcb.cwnd}"
+            + (f" -> [{directives}]" if directives else ""),
+            dur_ps=fpc.fpu.latency_cycles * ENGINE_PERIOD_PS,
+        )
+        previous = self._trace_last_state.get(tcb.flow_id)
+        if previous is not tcb.state:
+            self._trace_last_state[tcb.flow_id] = tcb.state
+            if previous is not None:
+                self.trace.emit(
+                    self.time_ps, "engine.fpc", component, "state",
+                    tcb.flow_id, f"{previous.value} -> {tcb.state.value}",
+                )
 
     def _expire_timers(self) -> None:
         if self.timers.earliest_hint > self.now_s:
@@ -438,6 +474,13 @@ class FtEngine(Component):
         self.counters.add("packets_received")
         event = self.rx_parser.parse(payload)
         if event is not None:
+            if self.trace is not None:
+                self.trace.emit(
+                    self.time_ps, "engine.rx", f"{self.trace_name}/rx",
+                    "rx", event.flow_id,
+                    f"{payload.flag_names()} seq={payload.seq} "
+                    f"ack={payload.ack} len={len(payload.payload)}",
+                )
             self._submit(event)
         elif not payload.rst:
             # No flow owns this segment and no listener wants it:
@@ -497,6 +540,11 @@ class FtEngine(Component):
         if queue is None:
             queue = self.host_messages[0]
         queue.append(EngineMessage(kind, flow_id, value))
+        if self.trace is not None:
+            self.trace.emit(
+                self.time_ps, "host", f"{self.trace_name}/hostq", "msg",
+                flow_id, f"{kind} thread={thread_id} value={value}",
+            )
 
     def _apply_notification(self, kind: NoteKind, flow_id: int, value: int) -> None:
         record = self.flows.get(flow_id)
@@ -548,6 +596,14 @@ class FtEngine(Component):
 
     # ------------------------------------------------------------ transmit
     def _transmit_segment(self, segment: TcpSegment) -> None:
+        if self.trace is not None:
+            flow_id = self.rx_parser.lookup(segment.flow_key)
+            self.trace.emit(
+                self.time_ps, "engine.tx", f"{self.trace_name}/tx", "tx",
+                flow_id if flow_id is not None else -1,
+                f"{segment.flag_names()} seq={segment.seq} "
+                f"ack={segment.ack} len={len(segment.payload)}",
+            )
         self._transmit_ip(segment, segment.dst_ip)
 
     def _transmit_ip(self, packet, dst_ip: int) -> None:
@@ -624,3 +680,20 @@ class FtEngine(Component):
         messages = list(queue)
         queue.clear()
         return messages
+
+
+def _event_detail(event: TcpEvent) -> str:
+    """The human-readable payload of an ``event`` trace record."""
+    parts = []
+    if event.req is not None:
+        parts.append(f"req={event.req}")
+    if event.ack is not None:
+        parts.append(f"ack={event.ack}")
+    if event.rcv_nxt is not None:
+        parts.append(f"rcv_nxt={event.rcv_nxt}")
+    if event.dup_incr:
+        parts.append("dupack")
+    for flag in ("syn", "fin", "rst", "timeout", "connect", "close"):
+        if getattr(event, flag):
+            parts.append(flag)
+    return f"{event.kind.value} {' '.join(parts)}".strip()

@@ -56,6 +56,10 @@ class MemoryManager(Component):
         self.cache_hits = 0
         self.cache_misses = 0
 
+        #: Observability (repro.obs): a TraceBus, or None (free default).
+        self.trace = None
+        self.trace_name = self.name
+
     # ------------------------------------------------------------- stores
     def __contains__(self, flow_id: int) -> bool:
         return flow_id in self._resident
@@ -66,6 +70,11 @@ class MemoryManager(Component):
 
     def store(self, tcb: Tcb, entry: Optional[EventEntry] = None) -> None:
         """Accept an evicted TCB from an FPC (swap-out completes here)."""
+        if self.trace is not None:
+            self.trace.emit(
+                self.time_ps_fn(), "engine.mem", self.trace_name,
+                "store", tcb.flow_id, tcb.state.value,
+            )
         self._resident[tcb.flow_id] = (tcb, entry if entry is not None else EventEntry())
         self._touch_cache(tcb.flow_id, write=True)
         self._swap_in_pending.discard(tcb.flow_id)
@@ -74,6 +83,11 @@ class MemoryManager(Component):
         """Remove and return a flow's state for swap-in to an FPC."""
         if flow_id not in self._resident:
             raise KeyError(f"flow {flow_id} is not DRAM-resident")
+        if self.trace is not None:
+            self.trace.emit(
+                self.time_ps_fn(), "engine.mem", self.trace_name,
+                "take", flow_id,
+            )
         self._charge_dram(read=True, flow_id=flow_id, evicting=True)
         self._swap_in_pending.discard(flow_id)
         return self._resident.pop(flow_id)
@@ -96,9 +110,20 @@ class MemoryManager(Component):
         index = self._cache_index(flow_id)
         if self._cache[index] == flow_id:
             self.cache_hits += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.time_ps_fn(), "engine.mem", self.trace_name,
+                    "hit", flow_id,
+                )
             return True
         self.cache_misses += 1
         now_ps = self.time_ps_fn()
+        if self.trace is not None:
+            displaced = self._cache[index]
+            self.trace.emit(
+                now_ps, "engine.mem", self.trace_name, "miss", flow_id,
+                "clean" if displaced is None else f"writeback={displaced}",
+            )
         if self._cache[index] is not None:
             self.dram.transfer(TCB_SIZE_BYTES, now_ps)  # dirty write-back
         self.dram.transfer(TCB_SIZE_BYTES, now_ps)  # line fill
@@ -159,9 +184,19 @@ class MemoryManager(Component):
             or probe.fin_received
             or probe.rst_received
         )
+        if self.trace is not None:
+            self.trace.emit(
+                self.time_ps_fn(), "engine.mem", self.trace_name,
+                "handle", event.flow_id, event.kind.value,
+            )
         if needs_processing and event.flow_id not in self._swap_in_pending:
             self._swap_in_pending.add(event.flow_id)
             self.swap_in_requests.append(event.flow_id)
+            if self.trace is not None:
+                self.trace.emit(
+                    self.time_ps_fn(), "engine.mem", self.trace_name,
+                    "swapreq", event.flow_id,
+                )
 
     def drain_swap_in_requests(self) -> List[int]:
         requests, self.swap_in_requests = self.swap_in_requests, []

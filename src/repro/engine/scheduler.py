@@ -37,6 +37,10 @@ PENDING_RETRY_CYCLES = 12
 COALESCE_FIFOS = 4
 COALESCE_DEPTH = 16
 
+#: One 250 MHz cycle, for trace timestamps.  (Duplicated from ftengine,
+#: which imports this module; the engine keeps our cycle aligned to its.)
+_CYCLE_PS = 4000.0
+
 
 class Location(enum.Enum):
     FPC = "fpc"
@@ -88,6 +92,10 @@ class Scheduler(Component):
         self.swap_ins = 0
         self.pending_retries = 0
         self.max_pending = 0
+
+        #: Observability (repro.obs): a TraceBus, or None (free default).
+        self.trace = None
+        self.trace_name = self.name
 
     # ------------------------------------------------------- registration
     def register_new_flow(self, tcb: Tcb) -> Location:
@@ -141,6 +149,12 @@ class Scheduler(Component):
             for queued in fifo:
                 if queued.flow_id == event.flow_id and queued.information_preserving_merge(event):
                     self.events_coalesced += 1
+                    if self.trace is not None:
+                        self.trace.emit(
+                            self.cycle * _CYCLE_PS, "engine.sched",
+                            self.trace_name, "coalesce", event.flow_id,
+                            event.kind.value,
+                        )
                     return True
         if fifo.push(event):
             return True
@@ -186,6 +200,11 @@ class Scheduler(Component):
         if location is Location.MOVING:
             self.pending.append((self.cycle + PENDING_RETRY_CYCLES, event))
             self.max_pending = max(self.max_pending, len(self.pending))
+            if self.trace is not None:
+                self.trace.emit(
+                    self.cycle * _CYCLE_PS, "engine.sched", self.trace_name,
+                    "pend", event.flow_id, event.kind.value,
+                )
             return True
         if location is Location.FPC:
             fpc = self.fpcs[fpc_id]
@@ -214,6 +233,11 @@ class Scheduler(Component):
                 break
             self.pending.popleft()
             self.pending_retries += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.cycle * _CYCLE_PS, "engine.sched", self.trace_name,
+                    "retry", event.flow_id, event.kind.value,
+                )
             if not self._route(event):
                 self.pending.append((self.cycle + PENDING_RETRY_CYCLES, event))
 
@@ -225,6 +249,11 @@ class Scheduler(Component):
             return
         self.lut.set(flow_id, (Location.MOVING, source_fpc))
         self._migrations[flow_id] = _Migration(flow_id, source_fpc, kind="congestion")
+        if self.trace is not None:
+            self.trace.emit(
+                self.cycle * _CYCLE_PS, "engine.sched", self.trace_name,
+                "migrate", flow_id, f"congestion from=fpc{source_fpc}",
+            )
 
     def _start_eviction(
         self, fpc: FlowProcessingCore, then_swap_in: Optional[int] = None
@@ -239,6 +268,11 @@ class Scheduler(Component):
         self._migrations[victim] = _Migration(
             victim, fpc.fpc_id, kind="capacity", then_swap_in=then_swap_in
         )
+        if self.trace is not None:
+            self.trace.emit(
+                self.cycle * _CYCLE_PS, "engine.sched", self.trace_name,
+                "migrate", victim, f"capacity from=fpc{fpc.fpc_id}",
+            )
         return True
 
     def _handle_swap_in_requests(self) -> None:
@@ -268,6 +302,11 @@ class Scheduler(Component):
         target.accept_tcb(tcb, entry)
         self.lut.set(flow_id, (Location.FPC, target.fpc_id))
         self.swap_ins += 1
+        if self.trace is not None:
+            self.trace.emit(
+                self.cycle * _CYCLE_PS, "engine.sched", self.trace_name,
+                "swapin", flow_id, f"to=fpc{target.fpc_id}",
+            )
 
     def _collect_evicted(self) -> None:
         """Fig 6 steps ④–⑤: evicted TCBs arrive; update the location LUT."""
@@ -281,8 +320,19 @@ class Scheduler(Component):
                     if target is not None and target is not fpc:
                         target.accept_tcb(tcb)
                         self.lut.set(tcb.flow_id, (Location.FPC, target.fpc_id))
+                        if self.trace is not None:
+                            self.trace.emit(
+                                self.cycle * _CYCLE_PS, "engine.sched",
+                                self.trace_name, "evicted", tcb.flow_id,
+                                f"to=fpc{target.fpc_id}",
+                            )
                         continue
                 self.memory_manager.store(tcb)
                 self.lut.set(tcb.flow_id, (Location.DRAM, -1))
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.cycle * _CYCLE_PS, "engine.sched",
+                        self.trace_name, "evicted", tcb.flow_id, "to=dram",
+                    )
                 if migration is not None and migration.then_swap_in is not None:
                     self._deferred_swap_ins.appendleft(migration.then_swap_in)

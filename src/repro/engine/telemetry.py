@@ -1,28 +1,42 @@
 """Engine telemetry: structured tracing of FtEngine internals.
 
-Attaches non-invasively (wrapper functions, like a logic analyzer on the
-design's internal buses) and records what the control path actually did:
-events submitted, FPU passes with their emitted directives, packets
-entering the RX parser, and per-flow state transitions.  Invaluable when
-a protocol test fails and you need to see *why* the engine (didn't)
-transmit.
+:class:`EngineTracer` is the engine-focused debugging view over the
+full-stack trace bus (:mod:`repro.obs`).  Attaching points the engine's
+built-in emit sites at a private :class:`~repro.obs.trace.TraceBus`
+restricted to the classic record kinds — events submitted, FPU passes
+with their emitted directives, packets entering the RX parser, segments
+leaving the TX path, and per-flow state transitions — and renders them
+as the familiar flat timeline.  Invaluable when a protocol test fails
+and you need to see *why* the engine (didn't) transmit.
 
 Typical use::
 
     tracer = EngineTracer.attach(testbed.engine_a, flows={flow_id})
     ... run traffic ...
     print(tracer.render())
+
+For cross-layer tracing (memory manager, host queues, traffic engine)
+or Perfetto export, use :class:`repro.obs.TraceBus` directly with
+:func:`repro.obs.attach_engine` / :func:`repro.obs.attach_load_engine`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from dataclasses import dataclass
+from typing import List, Optional, Set
 
-from ..tcp.state_machine import TcpState
+from ..obs.hooks import attach_engine
+from ..obs.trace import TraceBus
 from .ftengine import FtEngine
 
 DEFAULT_MAX_RECORDS = 100_000
+
+#: The record kinds this tracer keeps (and the bus cap counts).
+_RECORD_KINDS = frozenset({"event", "fpu", "tx", "rx", "state"})
+
+#: The engine emits these kinds on four layers; host messages and
+#: scheduler-internal kinds stay out of the classic view.
+_RECORD_LAYERS = frozenset({"engine.fpc", "engine.sched", "engine.tx", "engine.rx"})
 
 
 @dataclass
@@ -53,23 +67,11 @@ class EngineTracer:
         self.engine = engine
         self.flows = flows
         self.max_records = max_records
-        self.records: List[TraceRecord] = []
-        self.dropped = 0
-        self._detach_fns: List[Callable[[], None]] = []
-        self._last_state: dict = {}
-
-    # ------------------------------------------------------------- filters
-    def _wants(self, flow_id: int) -> bool:
-        return self.flows is None or flow_id in self.flows
-
-    def _record(self, kind: str, flow_id: int, detail: str) -> None:
-        if not self._wants(flow_id):
-            return
-        if len(self.records) >= self.max_records:
-            self.dropped += 1
-            return
-        self.records.append(
-            TraceRecord(self.engine.now_s, kind, flow_id, detail)
+        self.bus = TraceBus(
+            layers=_RECORD_LAYERS,
+            flows=flows,
+            max_events=max_records,
+            kinds=_RECORD_KINDS,
         )
 
     # -------------------------------------------------------------- attach
@@ -81,124 +83,44 @@ class EngineTracer:
         max_records: int = DEFAULT_MAX_RECORDS,
     ) -> "EngineTracer":
         tracer = cls(engine, flows, max_records)
-        tracer._wrap_submit()
-        tracer._wrap_apply_result()
-        tracer._wrap_transmit()
-        tracer._wrap_parse()
+        attach_engine(engine, tracer.bus)
         return tracer
 
     def detach(self) -> None:
-        for restore in self._detach_fns:
-            restore()
-        self._detach_fns.clear()
+        attach_engine(self.engine, None)
 
-    def _wrap_submit(self) -> None:
-        original = self.engine._submit
-
-        def wrapped(event):
-            parts = []
-            if event.req is not None:
-                parts.append(f"req={event.req}")
-            if event.ack is not None:
-                parts.append(f"ack={event.ack}")
-            if event.rcv_nxt is not None:
-                parts.append(f"rcv_nxt={event.rcv_nxt}")
-            if event.dup_incr:
-                parts.append("dupack")
-            for flag in ("syn", "fin", "rst", "timeout", "connect", "close"):
-                if getattr(event, flag):
-                    parts.append(flag)
-            self._record(
-                "event", event.flow_id,
-                f"{event.kind.value} {' '.join(parts)}".strip(),
+    # -------------------------------------------------------------- access
+    @property
+    def records(self) -> List[TraceRecord]:
+        return [
+            TraceRecord(
+                event.t_ps / 1e12, event.kind, event.flow_id, str(event.detail)
             )
-            return original(event)
+            for event in self.bus.events
+        ]
 
-        self.engine._submit = wrapped
-        self._detach_fns.append(lambda: setattr(self.engine, "_submit", original))
-
-    def _wrap_apply_result(self) -> None:
-        original = self.engine._apply_result
-
-        def wrapped(result):
-            tcb = result.tcb
-            directives = ", ".join(
-                f"seq={d.seq}+{d.length}{' RTX' if d.retransmission else ''}"
-                for d in result.directives
-            )
-            self._record(
-                "fpu", tcb.flow_id,
-                f"una={tcb.snd_una} nxt={tcb.snd_nxt} cwnd={tcb.cwnd}"
-                + (f" -> [{directives}]" if directives else ""),
-            )
-            previous = self._last_state.get(tcb.flow_id)
-            if previous is not tcb.state:
-                self._last_state[tcb.flow_id] = tcb.state
-                if previous is not None:
-                    self._record(
-                        "state", tcb.flow_id,
-                        f"{previous.value} -> {tcb.state.value}",
-                    )
-            return original(result)
-
-        self.engine._apply_result = wrapped
-        self._detach_fns.append(
-            lambda: setattr(self.engine, "_apply_result", original)
-        )
-
-    def _wrap_transmit(self) -> None:
-        original = self.engine._transmit_segment
-
-        def wrapped(segment):
-            flow_id = self.engine.rx_parser.lookup(segment.flow_key)
-            self._record(
-                "tx", flow_id if flow_id is not None else -1,
-                f"{segment.flag_names()} seq={segment.seq} ack={segment.ack} "
-                f"len={len(segment.payload)}",
-            )
-            return original(segment)
-
-        self.engine._transmit_segment = wrapped
-        self._detach_fns.append(
-            lambda: setattr(self.engine, "_transmit_segment", original)
-        )
-
-    def _wrap_parse(self) -> None:
-        parser = self.engine.rx_parser
-        original = parser.parse
-
-        def wrapped(segment):
-            event = original(segment)
-            if event is not None:
-                self._record(
-                    "rx", event.flow_id,
-                    f"{segment.flag_names()} seq={segment.seq} "
-                    f"ack={segment.ack} len={len(segment.payload)}",
-                )
-            return event
-
-        parser.parse = wrapped
-        self._detach_fns.append(lambda: setattr(parser, "parse", original))
+    @property
+    def dropped(self) -> int:
+        return self.bus.dropped
 
     # -------------------------------------------------------------- output
     def render(self, kinds: Optional[Set[str]] = None) -> str:
         """The trace as a timeline, optionally filtered by record kind."""
-        selected = [
-            record
+        lines = [
+            str(record)
             for record in self.records
             if kinds is None or record.kind in kinds
         ]
-        lines = [str(record) for record in selected]
         if self.dropped:
             lines.append(f"... {self.dropped} records dropped (buffer full)")
         return "\n".join(lines)
 
     def count(self, kind: str) -> int:
-        return sum(1 for record in self.records if record.kind == kind)
+        return self.bus.count(kind)
 
     def state_transitions(self, flow_id: int) -> List[str]:
         return [
-            record.detail
-            for record in self.records
-            if record.kind == "state" and record.flow_id == flow_id
+            str(event.detail)
+            for event in self.bus.events
+            if event.kind == "state" and event.flow_id == flow_id
         ]

@@ -54,6 +54,10 @@ class F4TRuntime:
         self.commands_received = 0
         self._pending_doorbell = False
 
+        #: Observability (repro.obs): a TraceBus, or None (free default).
+        self.trace = None
+        self.trace_name = f"runtime{thread_id}"
+
     # ----------------------------------------------------- data-path (hot)
     def send(self, flow_id: int, data: bytes) -> int:
         """send(): write payload to the hugepage buffer, queue the pointer.
@@ -73,6 +77,11 @@ class F4TRuntime:
         self.queues.submission.push(Command(Opcode.SEND, flow_id, pointer))
         self._pending_doorbell = True
         self.commands_sent += 1
+        if self.trace is not None:
+            self.trace.emit(
+                self.engine.time_ps, "host", self.trace_name, "send",
+                flow_id, f"bytes={accept} ptr={pointer}",
+            )
         return accept
 
     def recv(self, flow_id: int, nbytes: int) -> bytes:
@@ -92,6 +101,11 @@ class F4TRuntime:
                 self.queues.submission.push(Command(Opcode.RECV, flow_id, pointer))
                 self._pending_doorbell = True
                 self.commands_sent += 1
+        if data and self.trace is not None:
+            self.trace.emit(
+                self.engine.time_ps, "host", self.trace_name, "recv",
+                flow_id, f"bytes={len(data)}",
+            )
         return data
 
     def close(self, flow_id: int) -> None:
@@ -105,6 +119,11 @@ class F4TRuntime:
             self.queues.submission.ring_doorbell()
             self.mmio_doorbell_writes += 1
             self._pending_doorbell = False
+            if self.trace is not None:
+                self.trace.emit(
+                    self.engine.time_ps, "host", self.trace_name,
+                    "doorbell", -1, f"queued={len(self.queues.submission)}",
+                )
 
     # --------------------------------------------------------- engine side
     def flush(self) -> int:
@@ -153,4 +172,10 @@ class F4TRuntime:
                 )
             )
             self.commands_received += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.engine.time_ps, "host", self.trace_name,
+                    "complete", command.flow_id,
+                    _OPCODE_TO_NOTE[command.opcode],
+                )
         return messages

@@ -110,15 +110,29 @@ def traffic_scenario_point(
     load_scale: float = 1.0,
     backend: str = "functional",
     audit: bool = True,
-) -> Dict[str, float]:
-    """One traffic scenario at one offered-load scale, either backend."""
-    from ..traffic import get_scenario, run_scenario, run_scenario_model
+) -> "PointResult":
+    """One traffic scenario at one offered-load scale, either backend.
+
+    Returns a :class:`~repro.lab.grid.PointResult` whose ``metrics``
+    field carries the full labeled snapshot (engine counters, per-class
+    traffic histograms), so ``lab`` runs persist the whole picture, not
+    just the headline scalars.
+    """
+    import json
+
+    from ..lab.grid import PointResult
+    from ..obs import MetricsRegistry, collect_scenario_result, collect_traced_run
+    from ..traffic import LoadEngine, get_scenario, run_scenario_model
 
     sc = get_scenario(scenario, seed=seed)
     if backend == "model":
         result = run_scenario_model(sc, load_scale=load_scale)
+        registry = MetricsRegistry()
+        collect_scenario_result(registry, result)
     else:
-        result = run_scenario(sc, load_scale=load_scale, audit=audit)
+        engine = LoadEngine(sc, load_scale=load_scale, audit=audit)
+        result = engine.run()
+        registry = collect_traced_run(engine.testbed, result)
     scalars: Dict[str, float] = {
         "offered": result.offered,
         "completed": result.completed,
@@ -134,7 +148,9 @@ def traffic_scenario_point(
     for name, metrics in result.classes.items():
         scalars[f"{name}_achieved_rps"] = metrics.achieved_rps
         scalars[f"{name}_p99_us"] = metrics.p99_s * 1e6
-    return scalars
+    return PointResult(
+        scalars=scalars, metrics=json.loads(registry.snapshot().to_json())
+    )
 
 
 def traffic_churn_point(

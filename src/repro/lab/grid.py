@@ -87,10 +87,22 @@ class PointResult:
     scalars: Dict[str, float]
     #: name -> {"paper", "measured", "tolerance", "passes"}
     checks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Optional :class:`~repro.obs.metrics.MetricsSnapshot` rows
+    #: (``[{"name", "kind", "labels", "value"}, ...]``) — the full
+    #: labeled-metric view of the run, persisted alongside scalars.
+    metrics: Optional[List[Dict[str, Any]]] = None
 
     @property
     def all_checks_pass(self) -> bool:
         return all(check["passes"] for check in self.checks.values())
+
+    def metrics_snapshot(self) -> Optional["Any"]:
+        """Decode :attr:`metrics` back into a MetricsSnapshot, if present."""
+        if self.metrics is None:
+            return None
+        from ..obs.metrics import MetricsSnapshot
+
+        return MetricsSnapshot.from_json(json.dumps(self.metrics))
 
 
 def normalize_result(value: Any) -> PointResult:

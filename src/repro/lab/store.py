@@ -41,6 +41,7 @@ CREATE TABLE IF NOT EXISTS runs (
     not_before      REAL NOT NULL DEFAULT 0, -- epoch s; retry backoff gate
     scalars         TEXT,                    -- JSON name -> float
     checks          TEXT,                    -- JSON name -> check dict
+    metrics         TEXT,                    -- JSON MetricsSnapshot rows
     error           TEXT,
     wall_time_s     REAL,
     git_sha         TEXT,
@@ -70,6 +71,7 @@ class RunRecord:
     not_before: float
     scalars: Dict[str, float]
     checks: Dict[str, Dict[str, Any]]
+    metrics: Optional[List[Dict[str, Any]]]
     error: Optional[str]
     wall_time_s: Optional[float]
     git_sha: Optional[str]
@@ -101,6 +103,7 @@ class RunRecord:
             not_before=row["not_before"],
             scalars=json.loads(row["scalars"]) if row["scalars"] else {},
             checks=json.loads(row["checks"]) if row["checks"] else {},
+            metrics=json.loads(row["metrics"]) if row["metrics"] else None,
             error=row["error"],
             wall_time_s=row["wall_time_s"],
             git_sha=row["git_sha"],
@@ -131,6 +134,22 @@ class RunStore:
         self._conn.execute("PRAGMA synchronous=NORMAL")
         with self._conn:
             self._conn.executescript(_SCHEMA)
+        self._migrate()
+
+    def _migrate(self) -> None:
+        """Add columns newer code expects to databases older code created.
+
+        ``run_id`` content hashes make rows portable across versions, so
+        an old store must keep working; additive ALTERs are the whole
+        migration story (absent values read back as NULL).
+        """
+        columns = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(runs)")
+        }
+        if "metrics" not in columns:
+            with self._conn:
+                self._conn.execute("ALTER TABLE runs ADD COLUMN metrics TEXT")
 
     def close(self) -> None:
         self._conn.close()
@@ -227,12 +246,15 @@ class RunStore:
         with self._conn:
             self._conn.execute(
                 "UPDATE runs SET status='done', scalars=?, checks=?, "
-                "wall_time_s=?, git_sha=?, package_version=?, "
+                "metrics=?, wall_time_s=?, git_sha=?, package_version=?, "
                 "calibration_hash=?, finished_at=?, error=NULL "
                 "WHERE run_id=?",
                 (
                     canonical_json(result.scalars),
                     canonical_json(result.checks),
+                    canonical_json(result.metrics)
+                    if result.metrics is not None
+                    else None,
                     wall_time_s,
                     provenance.get("git_sha"),
                     provenance.get("package_version"),

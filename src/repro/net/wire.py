@@ -210,6 +210,10 @@ class Wire:
         return self._ab.in_flight + self._ba.in_flight
 
     @property
+    def frames_sent(self) -> int:
+        return self._ab.frames_sent + self._ba.frames_sent
+
+    @property
     def frames_dropped(self) -> int:
         return self._ab.frames_dropped + self._ba.frames_dropped
 

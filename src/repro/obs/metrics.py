@@ -1,0 +1,276 @@
+"""The metrics registry: labeled counters, gauges and histograms.
+
+:mod:`repro.sim.stats` gives each component its own unlabeled bag of
+numbers; great inside one module, useless across a run that spans two
+engines, a host runtime and a traffic generator.  The registry is the
+cross-layer view: every instrument is a ``(name, labels)`` pair (think
+Prometheus), so ``cache_misses{engine=a}`` and ``cache_misses{engine=b}``
+coexist, and a sweep can merge per-run registries into one.
+
+The registry *wraps* the sim.stats primitives rather than replacing
+them — :meth:`MetricsRegistry.ingest_counters` lifts an existing
+:class:`~repro.sim.stats.Counters` bag into labeled metrics, and
+histograms delegate their percentile math to
+:class:`~repro.sim.stats.Histogram` — so components keep their cheap
+local instruments and the registry assembles the global picture at
+snapshot time.
+
+Snapshots are plain rows (name, kind, labels, value): diffable
+(:meth:`MetricsSnapshot.delta`), mergeable across runs
+(:meth:`MetricsRegistry.merge`), and exportable as CSV or JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..sim.stats import Counters, Histogram
+
+#: A frozen, hashable label set: (("engine","a"), ("class","rpc")).
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_labels(labels: Mapping[str, str]) -> str:
+    """``engine=a;class=rpc`` — the CSV/JSON wire form, sorted, stable."""
+    return ";".join(f"{k}={v}" for k, v in _label_key(labels))
+
+
+def parse_labels(text: str) -> Dict[str, str]:
+    if not text:
+        return {}
+    return dict(part.split("=", 1) for part in text.split(";"))
+
+
+class Counter:
+    """Monotonic labeled counter."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    # `set` supports ingesting an externally accumulated total (the
+    # sim.stats bags count from the component's own start of time).
+    def set_total(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Gauge:
+    """Last-written labeled value (occupancy, depth, ratio)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+#: The stats a histogram flattens into at snapshot time.
+HISTOGRAM_STATS = ("count", "mean", "p50", "p99", "max")
+
+
+class HistogramMetric:
+    """Labeled sample store; percentile math lives in sim.stats."""
+
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.histogram = Histogram()
+
+    def observe(self, value: float) -> None:
+        self.histogram.record(value)
+
+    def stats(self) -> Dict[str, float]:
+        h = self.histogram
+        return {
+            "count": float(len(h)),
+            "mean": h.mean,
+            "p50": h.median,
+            "p99": h.p99,
+            "max": h.max,
+        }
+
+
+class MetricsSnapshot:
+    """A frozen numeric view of a registry: rows of (name, kind, labels, value)."""
+
+    def __init__(self, rows: List[Tuple[str, str, Dict[str, str], float]]) -> None:
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[str, str, Dict[str, str], float]]:
+        return iter(self.rows)
+
+    def value(self, name: str, **labels: str) -> Optional[float]:
+        key = _label_key(labels)
+        for row_name, _kind, row_labels, value in self.rows:
+            if row_name == name and _label_key(row_labels) == key:
+                return value
+        return None
+
+    def as_dict(self) -> Dict[str, float]:
+        """``name{labels}`` -> value, for quick asserts and JSON scalars."""
+        out: Dict[str, float] = {}
+        for name, _kind, labels, value in self.rows:
+            suffix = format_labels(labels)
+            out[f"{name}{{{suffix}}}" if suffix else name] = value
+        return out
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Counter rows become this-minus-earlier; everything else kept.
+
+        Gauges and histogram stats are point-in-time readings, so the
+        later value *is* the delta-window reading.
+        """
+        before = {
+            (name, _label_key(labels)): value
+            for name, kind, labels, value in earlier.rows
+            if kind == "counter"
+        }
+        rows = []
+        for name, kind, labels, value in self.rows:
+            if kind == "counter":
+                value = value - before.get((name, _label_key(labels)), 0.0)
+            rows.append((name, kind, dict(labels), value))
+        return MetricsSnapshot(rows)
+
+    # ------------------------------------------------------------- export
+    def to_csv(self) -> str:
+        lines = ["name,kind,labels,value"]
+        for name, kind, labels, value in self.rows:
+            rendered = (
+                f"{value:.9g}" if isinstance(value, float) else str(value)
+            )
+            lines.append(f"{name},{kind},{format_labels(labels)},{rendered}")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [
+                {"name": name, "kind": kind, "labels": labels, "value": value}
+                for name, kind, labels, value in self.rows
+            ],
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        rows = [
+            (row["name"], row["kind"], dict(row["labels"]), float(row["value"]))
+            for row in json.loads(text)
+        ]
+        return cls(rows)
+
+
+class MetricsRegistry:
+    """All of a run's instruments, keyed by name + labels."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def _get(self, factory: type, name: str, labels: Mapping[str, str]) -> Any:
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r}{dict(labels)!r} already registered as "
+                f"{instrument.kind}, not {factory.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> HistogramMetric:
+        return self._get(HistogramMetric, name, labels)
+
+    # ----------------------------------------------------------- ingestion
+    def ingest_counters(
+        self, counters: Counters, prefix: str = "", **labels: str
+    ) -> None:
+        """Lift a :class:`~repro.sim.stats.Counters` bag into the registry.
+
+        This is the supersede-without-rewrite path: components keep
+        their local bags, the registry absorbs them (as totals) under
+        stable labeled names at collection time.
+        """
+        for name, value in counters.as_dict().items():
+            self.counter(prefix + name, **labels).set_total(value)
+
+    def ingest_scalars(
+        self, scalars: Mapping[str, float], prefix: str = "", **labels: str
+    ) -> None:
+        for name, value in scalars.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if isinstance(value, float) and not math.isfinite(value):
+                continue
+            self.counter(prefix + name, **labels).set_total(float(value))
+
+    def ingest_histogram(
+        self, histogram: Histogram, name: str, **labels: str
+    ) -> None:
+        metric = self.histogram(name, **labels)
+        for sample in histogram.samples:
+            metric.observe(sample)
+
+    # ------------------------------------------------------------- merging
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges take the other's
+        value, histograms pool samples.  Labels keep runs distinguishable;
+        merging identical label sets means "same instrument, more data"."""
+        for (name, key), instrument in other._instruments.items():
+            labels = dict(key)
+            if isinstance(instrument, Counter):
+                self.counter(name, **labels).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                self.gauge(name, **labels).set(instrument.value)
+            else:
+                mine = self.histogram(name, **labels)
+                for sample in instrument.histogram.samples:
+                    mine.observe(sample)
+
+    # ------------------------------------------------------------ snapshot
+    def snapshot(self) -> MetricsSnapshot:
+        rows: List[Tuple[str, str, Dict[str, str], float]] = []
+        for (name, key), instrument in sorted(
+            self._instruments.items(), key=lambda item: item[0]
+        ):
+            labels = dict(key)
+            if isinstance(instrument, HistogramMetric):
+                stats = instrument.stats()
+                for stat in HISTOGRAM_STATS:
+                    stat_labels = dict(labels)
+                    stat_labels["stat"] = stat
+                    rows.append((name, "histogram", stat_labels, stats[stat]))
+            else:
+                rows.append((name, instrument.kind, labels, instrument.value))
+        return MetricsSnapshot(rows)

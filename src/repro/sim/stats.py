@@ -51,13 +51,18 @@ class RateMeter:
         self.units += units
 
     def per_second(self, elapsed_ps: float) -> float:
-        """Events per simulated second."""
-        if elapsed_ps <= 0:
+        """Events per simulated second.
+
+        A zero (or negative, or non-finite) measurement window has no
+        meaningful rate; it reports 0.0 rather than raising or returning
+        inf, so aggregation over many windows never blows up.
+        """
+        if not elapsed_ps > 0 or math.isinf(elapsed_ps):
             return 0.0
         return self.count / (elapsed_ps / 1e12)
 
     def units_per_second(self, elapsed_ps: float) -> float:
-        if elapsed_ps <= 0:
+        if not elapsed_ps > 0 or math.isinf(elapsed_ps):
             return 0.0
         return self.units / (elapsed_ps / 1e12)
 
@@ -93,11 +98,18 @@ class Histogram:
             self._sorted = True
 
     def percentile(self, p: float) -> float:
-        """Linear-interpolated percentile ``p`` in [0, 100]."""
-        if not self._samples:
-            raise ValueError(f"{self.name}: percentile of empty histogram")
+        """Linear-interpolated percentile ``p`` in [0, 100].
+
+        An empty histogram has no percentiles: the answer is ``nan``
+        (the value every report renders as "no data"), not an exception
+        — a run where one traffic class saw zero completions must still
+        produce a result table.  Out-of-range ``p`` is still a bug in
+        the caller and raises.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return math.nan
         self._ensure_sorted()
         if len(self._samples) == 1:
             return self._samples[0]
@@ -120,11 +132,11 @@ class Histogram:
     @property
     def mean(self) -> float:
         if not self._samples:
-            raise ValueError(f"{self.name}: mean of empty histogram")
+            return math.nan
         return sum(self._samples) / len(self._samples)
 
     @property
     def max(self) -> float:
         if not self._samples:
-            raise ValueError(f"{self.name}: max of empty histogram")
+            return math.nan
         return max(self._samples)

@@ -254,6 +254,12 @@ class LoadEngine:
         #: client ephemeral port -> conn awaiting its server-side accept.
         self._awaiting_accept: Dict[int, _Conn] = {}
 
+        #: Observability (repro.obs): a TraceBus, or None (free default).
+        #: When attached, the pump also emits periodic occupancy samples.
+        self.trace = None
+        self.trace_sample_cycles = 4096
+        self._next_trace_sample_cycle = 0
+
         for state in self.states.values():
             cls = state.cls
             if cls.open_loop:
@@ -319,6 +325,11 @@ class LoadEngine:
         client_port = tb.engine_a.flows[conn.a_flow].key.src_port
         self._awaiting_accept[client_port] = conn
         self.states[cls.name].metrics.connections_opened += 1
+        if self.trace is not None:
+            self.trace.emit(
+                tb.now_s * 1e12, "traffic", "load", "connect", conn.a_flow,
+                f"{cls.name} port={client_port}",
+            )
         return conn
 
     def _pools_ready(self) -> bool:
@@ -343,6 +354,11 @@ class LoadEngine:
             for monitor in self.monitors:
                 monitor.check()
             self._next_audit_cycle = tb.cycle + self.audit_every_cycles
+        if self.trace is not None and tb.cycle >= self._next_trace_sample_cycle:
+            from ..obs.hooks import sample_occupancy
+
+            sample_occupancy(self.trace, tb, tb.now_s * 1e12)
+            self._next_trace_sample_cycle = tb.cycle + self.trace_sample_cycles
         self._poll_accepts()
         self._release_arrivals()
         for state in self.states.values():
@@ -371,6 +387,12 @@ class LoadEngine:
             self._release_index += 1
             self._outstanding += 1
             self.states[request.cls].pending.append(request)
+            if self.trace is not None:
+                self.trace.emit(
+                    now * 1e12, "traffic", "load", "arrival", -1,
+                    f"{request.cls} req={request.request_bytes} "
+                    f"resp={request.response_bytes}",
+                )
 
     def _advance_class(self, state: _ClassState) -> None:
         cls = state.cls
@@ -441,6 +463,13 @@ class LoadEngine:
                 state.metrics.completed += 1
                 self._outstanding -= 1
                 conn.state = _DONE
+                if self.trace is not None:
+                    self.trace.emit(
+                        tb.now_s * 1e12, "traffic", "load", "closed",
+                        conn.a_flow,
+                        f"{state.cls.name} "
+                        f"lifecycle_us={(tb.now_s - conn.connect_s) * 1e6:.2f}",
+                    )
 
     def _maybe_issue(self, state: _ClassState, conn: _Conn) -> None:
         cls = state.cls
@@ -468,6 +497,13 @@ class LoadEngine:
              request.response_bytes, conn.arrival_s]
         )
         conn.state = _SENDING
+        if self.trace is not None:
+            self.trace.emit(
+                self.testbed.now_s * 1e12, "traffic", "load", "issue",
+                conn.a_flow,
+                f"{cls.name} req={request.request_bytes} "
+                f"resp={request.response_bytes}",
+            )
         self._push_send(conn)
 
     def _push_send(self, conn: _Conn) -> None:
@@ -537,11 +573,19 @@ class LoadEngine:
         arrival_s: float,
     ) -> None:
         metrics = state.metrics
-        metrics.latencies.record(self.testbed.now_s - arrival_s)
+        latency_s = self.testbed.now_s - arrival_s
+        metrics.latencies.record(latency_s)
         metrics.bytes_delivered += request_bytes + response_bytes
         if state.cls.lifecycle != PER_REQUEST:
             metrics.completed += 1
             self._outstanding -= 1
+        if self.trace is not None:
+            self.trace.emit(
+                arrival_s * 1e12, "traffic", "load", "complete",
+                conn.a_flow if conn.a_flow is not None else -1,
+                f"{state.cls.name} bytes={request_bytes + response_bytes}",
+                dur_ps=max(0.0, latency_s) * 1e12,
+            )
 
     def _all_done(self) -> bool:
         if self._release_index < len(self.schedule) or self._outstanding:

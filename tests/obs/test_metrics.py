@@ -1,0 +1,132 @@
+"""The labeled metrics registry: instruments, snapshots, export."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    format_labels,
+    parse_labels,
+)
+from repro.sim.stats import Counters
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("frames", engine="a").inc()
+        registry.counter("frames", engine="a").inc(4)
+        assert registry.snapshot().value("frames", engine="a") == 5
+
+    def test_labels_distinguish_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("frames", engine="a").inc(1)
+        registry.counter("frames", engine="b").inc(2)
+        snapshot = registry.snapshot()
+        assert snapshot.value("frames", engine="a") == 1
+        assert snapshot.value("frames", engine="b") == 2
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        gauge.inc(3)
+        gauge.dec(1)
+        assert registry.snapshot().value("depth") == 9
+
+    def test_histogram_flattens_to_stats(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_s", cls="rpc")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        snapshot = registry.snapshot()
+        assert snapshot.value("latency_s", cls="rpc", stat="count") == 3
+        assert snapshot.value("latency_s", cls="rpc", stat="mean") == pytest.approx(2.0)
+        assert snapshot.value("latency_s", cls="rpc", stat="max") == 3.0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_ingest_counters_bag(self):
+        bag = Counters()
+        bag.add("events", 12)
+        registry = MetricsRegistry()
+        registry.ingest_counters(bag, engine="a", component="sched")
+        assert (
+            registry.snapshot().value("events", engine="a", component="sched") == 12
+        )
+
+
+class TestSnapshot:
+    def test_delta_subtracts_counters_only(self):
+        registry = MetricsRegistry()
+        registry.counter("frames").inc(10)
+        registry.gauge("depth").set(3)
+        before = registry.snapshot()
+        registry.counter("frames").inc(5)
+        registry.gauge("depth").set(8)
+        delta = registry.snapshot().delta(before)
+        assert delta.value("frames") == 5
+        assert delta.value("depth") == 8  # gauges are point-in-time
+
+    def test_csv_has_header_and_labeled_rows(self):
+        registry = MetricsRegistry()
+        registry.counter("frames", engine="a").inc(3)
+        csv = registry.snapshot().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "name,kind,labels,value"
+        assert "frames,counter,engine=a,3" in lines[1]
+
+    def test_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("frames", engine="a").inc(3)
+        registry.histogram("latency_s").observe(1.5)
+        snapshot = registry.snapshot()
+        back = MetricsSnapshot.from_json(snapshot.to_json())
+        assert back.rows == snapshot.rows
+
+    def test_empty_histogram_snapshots_nan_not_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency_s")
+        snapshot = registry.snapshot()
+        assert snapshot.value("latency_s", stat="count") == 0
+        assert math.isnan(snapshot.value("latency_s", stat="p99"))
+
+    def test_as_dict_names_carry_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("frames", engine="a").inc()
+        registry.counter("total").inc()
+        flat = registry.snapshot().as_dict()
+        assert flat["frames{engine=a}"] == 1
+        assert flat["total"] == 1
+
+
+class TestMerge:
+    def test_counters_add_histograms_pool(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.counter("frames").inc(2)
+        two.counter("frames").inc(3)
+        one.histogram("latency_s").observe(1.0)
+        two.histogram("latency_s").observe(3.0)
+        one.merge(two)
+        snapshot = one.snapshot()
+        assert snapshot.value("frames") == 5
+        assert snapshot.value("latency_s", stat="count") == 2
+        assert snapshot.value("latency_s", stat="mean") == pytest.approx(2.0)
+
+
+class TestLabels:
+    def test_format_is_sorted_and_parseable(self):
+        labels = {"engine": "a", "cls": "rpc"}
+        text = format_labels(labels)
+        assert text == "cls=rpc;engine=a"
+        assert parse_labels(text) == labels
+
+    def test_empty_labels(self):
+        assert format_labels({}) == ""
+        assert parse_labels("") == {}

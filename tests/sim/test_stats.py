@@ -1,5 +1,7 @@
 """Counters, rate meters and percentile histograms."""
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -43,6 +45,13 @@ class TestRateMeter:
         assert meter.per_second(0) == 0.0
         assert meter.units_per_second(-1) == 0.0
 
+    def test_degenerate_windows_are_defined(self):
+        meter = RateMeter()
+        meter.record(units=100.0)
+        assert meter.per_second(math.nan) == 0.0
+        assert meter.units_per_second(math.inf) == 0.0
+        assert meter.gbps(0) == 0.0
+
 
 class TestHistogram:
     def test_median_and_p99(self):
@@ -60,13 +69,17 @@ class TestHistogram:
         assert hist.percentile(0) == 7.0
         assert hist.percentile(100) == 7.0
 
-    def test_empty_raises(self):
+    def test_empty_is_nan_not_an_error(self):
+        # A class with zero completions must still render a report row.
+        hist = Histogram()
+        assert math.isnan(hist.median)
+        assert math.isnan(hist.percentile(99))
+        assert math.isnan(hist.mean)
+        assert math.isnan(hist.max)
+
+    def test_empty_still_rejects_bad_percentile(self):
         with pytest.raises(ValueError):
-            Histogram().median
-        with pytest.raises(ValueError):
-            Histogram().mean
-        with pytest.raises(ValueError):
-            Histogram().max
+            Histogram().percentile(101)
 
     def test_percentile_bounds_checked(self):
         hist = Histogram()
