@@ -22,7 +22,7 @@ Quick start::
     lib = F4TLibrary(testbed.engine_a, pump=pump)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 __paper__ = (
     "F4T: A Fast and Flexible FPGA-based Full-stack TCP Acceleration "
     "Framework, ISCA 2023, doi:10.1145/3579371.3589090"

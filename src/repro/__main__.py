@@ -8,6 +8,7 @@ Subcommands::
     python -m repro traffic run ...   # scenario-driven load generation
     python -m repro lab run ...       # parallel, resumable sweeps
     python -m repro obs summary ...   # inspect exported traces
+    python -m repro check all         # static analyzer + race sanitizer
 """
 
 from __future__ import annotations
@@ -438,9 +439,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_traffic_parser(subparsers)
     _add_lab_parser(subparsers)
+    from repro.check.cli import add_check_parser, main as check_main
     from repro.obs.cli import add_obs_parser, main as obs_main
 
     add_obs_parser(subparsers)
+    add_check_parser(subparsers)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -451,6 +454,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "traffic": _cmd_traffic,
         "lab": _cmd_lab,
         "obs": obs_main,
+        "check": check_main,
     }
     if args.command is None:
         parser.print_help()

@@ -1,0 +1,41 @@
+"""repro.check — project-specific static analysis and race sanitizing.
+
+Two engines behind one CLI (``python -m repro check {lint,race,all}``):
+
+* **simlint** (:mod:`repro.check.lint`, :mod:`repro.check.rules`) — an
+  AST-based lint framework with repo-specific rules no off-the-shelf
+  linter knows: seeded-RNG-only and no-wall-clock discipline in the
+  simulated layers, wraparound-safe sequence comparisons through
+  :mod:`repro.tcp.seq`, the ``if self.trace is not None`` near-zero-cost
+  tracing contract, no bypassing of the stats/metrics API, and no float
+  drift in accumulated picosecond clocks.  Findings carry rule ids
+  (``F4T0xx``) and honour ``# f4t: noqa[F4T0xx]`` suppressions.
+
+* **race sanitizer** (:mod:`repro.check.race`) — a TSAN-style shadow
+  state checker for the dual-memory TCB scheme (§4.2.3): every write to
+  the TCB table and event table is recorded as (cycle, writer, slot,
+  valid bits), and conflicting same-cycle writes from both writers,
+  out-of-band valid-bit flips, and lost updates during the
+  evict/migration window (Fig 6) are reported at the cycle they happen.
+"""
+
+from .findings import Finding, RaceFinding
+from .lint import LintResult, layer_of, lint_paths, lint_source
+from .race import RaceSanitizer, attach_sanitizer, run_race_check
+from .rules import LintRule, SIM_LAYERS, all_rules, get_rule
+
+__all__ = [
+    "Finding",
+    "RaceFinding",
+    "LintResult",
+    "LintRule",
+    "RaceSanitizer",
+    "SIM_LAYERS",
+    "all_rules",
+    "attach_sanitizer",
+    "get_rule",
+    "layer_of",
+    "lint_paths",
+    "lint_source",
+    "run_race_check",
+]

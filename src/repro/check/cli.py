@@ -1,0 +1,155 @@
+"""``python -m repro check`` — the static analyzer and race sanitizer.
+
+Subcommands::
+
+    python -m repro check lint [paths...]   # simlint over the tree
+    python -m repro check race              # sanitized traffic run
+    python -m repro check all               # both; the CI gate
+
+Exit code 0 means clean; 1 means findings (each named with its rule id
+and ``file:line``, or cycle and memory location for race findings);
+2 means usage error.  ``--json`` writes the machine-readable artifact
+CI uploads on failure.
+
+The handlers live here (not in ``repro.__main__``) so they are
+importable and testable like any other library function.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from .lint import LintResult, lint_paths, write_json
+from .race import DEFAULT_MAX_FINDINGS, RaceSanitizer, run_race_check
+from .rules import all_rules
+
+DEFAULT_PATHS = ["src"]
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id} {rule.title}: {rule.rationale}")
+        return 0
+    result = lint_paths(args.paths or DEFAULT_PATHS)
+    print(result.render())
+    if args.json is not None:
+        write_json(result, args.json)
+        print(f"wrote {args.json}")
+    return 0 if result.ok else 1
+
+
+def cmd_race(args: argparse.Namespace) -> int:
+    san, result = run_race_check(
+        scenario_name=args.scenario,
+        seed=args.seed,
+        load_scale=args.load_scale,
+        max_findings=args.max_findings,
+    )
+    print(san.report())
+    if args.json is not None:
+        _write_race_json(args.json, san)
+        print(f"wrote {args.json}")
+    if not getattr(result, "finished", True):
+        print("check race: traffic run did not finish", file=sys.stderr)
+        return 1
+    return 0 if san.ok else 1
+
+
+def cmd_all(args: argparse.Namespace) -> int:
+    lint_result = lint_paths(args.paths or DEFAULT_PATHS)
+    print(lint_result.render())
+    san, result = run_race_check(
+        scenario_name=args.scenario,
+        seed=args.seed,
+        load_scale=args.load_scale,
+    )
+    print(san.report())
+    if args.json is not None:
+        payload = {
+            "lint": lint_result.to_json(),
+            "race": {
+                "writes_checked": san.writes_checked,
+                "findings": [f.to_json() for f in san.findings],
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    ok = lint_result.ok and san.ok and getattr(result, "finished", True)
+    return 0 if ok else 1
+
+
+def _write_race_json(path: str, san: "RaceSanitizer") -> None:
+    payload = {
+        "writes_checked": san.writes_checked,
+        "findings": [finding.to_json() for finding in san.findings],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _add_race_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", default="churn",
+        help="traffic scenario driving the sanitized run (default churn, "
+             "which exercises the Fig 6 migration protocol)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="top-level seed")
+    parser.add_argument(
+        "--load-scale", type=float, default=1.0,
+        help="multiply every open-loop arrival rate",
+    )
+
+
+def add_check_parser(subparsers: argparse._SubParsersAction) -> None:
+    check = subparsers.add_parser(
+        "check", help="static analyzer + race sanitizer (repro.check)"
+    )
+    check_sub = check.add_subparsers(dest="check_command")
+
+    lint = check_sub.add_parser("lint", help="run simlint over the tree")
+    lint.add_argument(
+        "paths", nargs="*", help="files or directories (default: src)"
+    )
+    lint.add_argument("--json", metavar="PATH", help="write findings JSON")
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    lint.set_defaults(check_handler=cmd_lint)
+
+    race = check_sub.add_parser(
+        "race", help="run a traffic scenario under the race sanitizer"
+    )
+    _add_race_options(race)
+    race.add_argument(
+        "--max-findings", type=int, default=DEFAULT_MAX_FINDINGS,
+        help="cap on recorded violations",
+    )
+    race.add_argument("--json", metavar="PATH", help="write findings JSON")
+    race.set_defaults(check_handler=cmd_race)
+
+    everything = check_sub.add_parser(
+        "all", help="simlint + race sanitizer; the CI gate"
+    )
+    everything.add_argument(
+        "paths", nargs="*", help="lint targets (default: src)"
+    )
+    _add_race_options(everything)
+    everything.add_argument(
+        "--json", metavar="PATH", help="write combined findings JSON"
+    )
+    everything.set_defaults(check_handler=cmd_all)
+
+
+def main(args: argparse.Namespace) -> int:
+    handler = getattr(args, "check_handler", None)
+    if handler is None:
+        print("usage: python -m repro check {lint,race,all}")
+        return 2
+    return handler(args)

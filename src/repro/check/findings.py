@@ -1,0 +1,72 @@
+"""Finding records shared by the linter and the race sanitizer.
+
+Both engines report through the same two shapes so the CLI can render
+one human listing and one JSON artifact: a :class:`Finding` is anchored
+to a file and line (simlint), a :class:`RaceFinding` to a simulated
+cycle and a memory location (the sanitizer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding, anchored to ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One dynamic finding from the dual-memory race sanitizer.
+
+    ``kind`` is one of the sanitizer's check names (``dual-writer``,
+    ``valid-bit``, ``lost-update``, ``stale-write``, ``rmw-hazard``);
+    ``table`` names the memory (``fpc3.tcb``, ``fpc3.events``,
+    ``dram``) and ``slot`` the address within it (-1 for DRAM, which is
+    keyed by flow).
+    """
+
+    kind: str
+    cycle: int
+    flow_id: int
+    table: str
+    slot: int
+    writer: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"cycle {self.cycle}: {self.kind} on {self.table}[{self.slot}] "
+            f"flow {self.flow_id} (writer {self.writer}): {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "flow_id": self.flow_id,
+            "table": self.table,
+            "slot": self.slot,
+            "writer": self.writer,
+            "message": self.message,
+        }

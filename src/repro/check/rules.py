@@ -1,0 +1,470 @@
+"""simlint rules: the hygiene contracts this repo depends on.
+
+Each rule is an AST check with a stable id (``F4T0xx``) so findings can
+be suppressed per line with ``# f4t: noqa[F4T0xx]`` (or ``# f4t: noqa``
+for all rules).  The rules encode contracts no off-the-shelf linter
+knows:
+
+* **F4T001 / F4T002** — the simulated layers (:data:`SIM_LAYERS`) must
+  be deterministic given the seed: no shared global RNG, no wall clock.
+* **F4T003** — values in TCP sequence space wrap at 2^32; raw ``<`` /
+  ``>=`` comparisons are wraparound bugs, use :mod:`repro.tcp.seq`.
+* **F4T004** — trace hooks follow the near-zero-cost contract: every
+  ``*.trace.emit(...)`` sits under an ``if <owner>.trace is not None``
+  (or truthiness) guard so untraced runs pay a single attribute test.
+* **F4T005** — counters are mutated through their API (``.add()``,
+  ``.record()``), never by poking the private ``_values`` store.
+* **F4T006** — picosecond clocks must not accumulate fractional floats
+  (``+=`` of a division drifts); recompute from absolute values.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .findings import Finding
+
+#: Layers (packages directly under ``repro``) that run inside the
+#: simulated clock domain and must be deterministic given the seed.
+SIM_LAYERS = frozenset({"sim", "engine", "tcp", "net", "traffic", "refsim"})
+
+#: ``random`` module functions that draw from the shared global RNG.
+GLOBAL_RNG_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "randbytes", "seed",
+})
+
+#: Wall-clock call targets (dotted suffixes after alias resolution).
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "date.today",
+})
+
+#: Names that carry TCP sequence-space values (RFC 793 TCB fields and
+#: segment pointers).  Comparisons on these must go through
+#: ``repro.tcp.seq`` so they survive the 2^32 wrap.
+SEQ_NAMES = frozenset({
+    "snd_una", "snd_nxt", "snd_max", "snd_wl1", "snd_wl2", "snd_up",
+    "rcv_nxt", "rcv_adv", "rcv_up", "rcv_user", "irs", "iss",
+    "seg_seq", "seg_ack", "seg_end",
+})
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    path: str
+    layer: Optional[str]
+    tree: ast.AST
+    source: str
+    #: node -> direct parent, for guard-scope checks.
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+
+def build_parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+class _ImportMap:
+    """Local-name resolution for ``import x as y`` / ``from x import y``."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.modules: Dict[str, str] = {}
+        self.members: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.members[alias.asname or alias.name] = (
+                        node.module, alias.name
+                    )
+
+    def resolve_call(self, func: ast.expr) -> Optional[str]:
+        """Dotted target of a call after alias resolution, or None.
+
+        ``random.Random`` stays ``random.Random``; ``from random import
+        Random as R`` makes ``R(...)`` resolve to ``random.Random``;
+        ``datetime.datetime.now`` resolves through the class member.
+        """
+        if isinstance(func, ast.Name):
+            member = self.members.get(func.id)
+            if member is not None:
+                return f"{member[0]}.{member[1]}"
+            return None
+        if isinstance(func, ast.Attribute):
+            parts: List[str] = [func.attr]
+            base = func.value
+            while isinstance(base, ast.Attribute):
+                parts.append(base.attr)
+                base = base.value
+            if not isinstance(base, ast.Name):
+                return None
+            root = base.id
+            member = self.members.get(root)
+            if member is not None:
+                parts.append(member[1])
+                parts.append(member[0])
+            elif root in self.modules:
+                parts.append(self.modules[root])
+            else:
+                parts.append(root)
+            return ".".join(reversed(parts))
+        return None
+
+
+class LintRule:
+    """Base class: one rule id, one :meth:`check` over a parsed file."""
+
+    rule_id: str = "F4T000"
+    title: str = ""
+    rationale: str = ""
+    #: None means every layer; otherwise a set of layer names.
+    layers: Optional[frozenset] = None
+    #: Path suffixes (``/``-normalised) the rule never applies to —
+    #: typically the module that *implements* the guarded API.
+    exempt_suffixes: Tuple[str, ...] = ()
+
+    def applies(self, ctx: FileContext) -> bool:
+        path = ctx.path.replace("\\", "/")
+        if any(path.endswith(suffix) for suffix in self.exempt_suffixes):
+            return False
+        if self.layers is None:
+            return True
+        return ctx.layer is not None and ctx.layer in self.layers
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class UnseededRandomRule(LintRule):
+    rule_id = "F4T001"
+    title = "unseeded-rng"
+    rationale = (
+        "simulated layers must be reproducible given the seed; the shared "
+        "global RNG (module-level random.*) and unseeded random.Random() "
+        "break replayability"
+    )
+    layers = SIM_LAYERS
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = _ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = imports.resolve_call(node.func)
+            if target is None or not target.startswith("random."):
+                continue
+            member = target[len("random."):]
+            if member == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "unseeded random.Random(); pass a derived seed "
+                    "(e.g. derive_seed(...)) so runs are replayable",
+                )
+            elif member in GLOBAL_RNG_FUNCS:
+                yield self.finding(
+                    ctx, node,
+                    f"module-level random.{member}() draws from the shared "
+                    "global RNG; use a seeded random.Random instance",
+                )
+            elif member == "SystemRandom":
+                yield self.finding(
+                    ctx, node,
+                    "random.SystemRandom is never reproducible; use a "
+                    "seeded random.Random instance",
+                )
+
+
+class WallClockRule(LintRule):
+    rule_id = "F4T002"
+    title = "wall-clock"
+    rationale = (
+        "simulated layers measure simulated time only; wall-clock reads "
+        "make results depend on host speed"
+    )
+    layers = SIM_LAYERS
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = _ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = imports.resolve_call(node.func)
+            if target is None:
+                continue
+            if target in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read {target}() in a simulated layer; use "
+                    "the kernel's simulated time (time_ps / now_s)",
+                )
+
+
+def _is_seq_operand(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name) and node.id in SEQ_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in SEQ_NAMES:
+        return node.attr
+    return None
+
+
+def _is_numeric_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.operand, ast.Constant):
+        return isinstance(node.operand.value, (int, float))
+    return False
+
+
+_SEQ_HELPER = {
+    ast.Lt: "seq_lt", ast.LtE: "seq_le", ast.Gt: "seq_gt", ast.GtE: "seq_ge",
+}
+
+
+class RawSeqCompareRule(LintRule):
+    rule_id = "F4T003"
+    title = "raw-seq-compare"
+    rationale = (
+        "TCP sequence space wraps at 2^32; ordered comparisons on "
+        "sequence-typed values must go through repro.tcp.seq"
+    )
+    exempt_suffixes = ("repro/tcp/seq.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                helper = _SEQ_HELPER.get(type(op))
+                if helper is None:
+                    continue
+                name = _is_seq_operand(left) or _is_seq_operand(right)
+                if name is None:
+                    continue
+                if _is_numeric_literal(left) or _is_numeric_literal(right):
+                    continue  # sentinel/initialisation checks never wrap
+                yield self.finding(
+                    ctx, node,
+                    f"raw ordered comparison on sequence-typed value "
+                    f"'{name}' is not wraparound-safe; use "
+                    f"tcp.seq.{helper}(...)",
+                )
+                break  # one finding per comparison chain
+
+
+class UnguardedTraceRule(LintRule):
+    rule_id = "F4T004"
+    title = "unguarded-trace"
+    rationale = (
+        "the tracing contract is near-zero-cost when disabled: every "
+        "*.trace.emit(...) must sit under `if <owner>.trace is not None`"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.parents:
+            ctx.parents = build_parents(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == "emit"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "trace"
+            ):
+                continue
+            owner = ast.unparse(func.value)
+            if not self._guarded(node, owner, ctx.parents):
+                yield self.finding(
+                    ctx, node,
+                    f"{owner}.emit(...) without an enclosing "
+                    f"`if {owner} is not None` guard; untraced runs must "
+                    "pay only one attribute test",
+                )
+
+    @staticmethod
+    def _test_guards(test: ast.expr, owner: str) -> bool:
+        if isinstance(test, ast.Compare):
+            return (
+                len(test.ops) == 1
+                and isinstance(test.ops[0], ast.IsNot)
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None
+                and ast.unparse(test.left) == owner
+            )
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            return any(
+                UnguardedTraceRule._test_guards(value, owner)
+                for value in test.values
+            )
+        return ast.unparse(test) == owner  # bare truthiness guard
+
+    @staticmethod
+    def _is_early_return_guard(stmt: ast.stmt, owner: str) -> bool:
+        """``if <owner> is None: return`` ahead of the emit also guards."""
+        if not isinstance(stmt, ast.If) or stmt.orelse:
+            return False
+        test = stmt.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+            and ast.unparse(test.left) == owner
+        ):
+            return False
+        return all(
+            isinstance(body_stmt, (ast.Return, ast.Raise, ast.Continue))
+            for body_stmt in stmt.body
+        )
+
+    def _guarded(
+        self, node: ast.AST, owner: str, parents: Dict[ast.AST, ast.AST]
+    ) -> bool:
+        child: ast.AST = node
+        parent = parents.get(child)
+        while parent is not None:
+            if isinstance(parent, ast.If):
+                in_body = any(stmt is child for stmt in parent.body)
+                if in_body and self._test_guards(parent.test, owner):
+                    return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Guards do not cross call boundaries; a helper that
+                # emits must carry its own guard, either enclosing or as
+                # an early return ahead of the emit.
+                emit_line = getattr(node, "lineno", 0)
+                return any(
+                    stmt.lineno < emit_line
+                    and self._is_early_return_guard(stmt, owner)
+                    for stmt in parent.body
+                )
+            if isinstance(parent, ast.Lambda):
+                return False
+            child = parent
+            parent = parents.get(child)
+        return False
+
+
+class StatsBypassRule(LintRule):
+    rule_id = "F4T005"
+    title = "stats-bypass"
+    rationale = (
+        "sim.stats counters and obs metrics are mutated through their API "
+        "(.add()/.record()/.observe()), never by poking the private store"
+    )
+    exempt_suffixes = ("repro/sim/stats.py", "repro/obs/metrics.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            targets: List[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                probe = target
+                if isinstance(probe, ast.Subscript):
+                    probe = probe.value
+                if isinstance(probe, ast.Attribute) and probe.attr == "_values":
+                    yield self.finding(
+                        ctx, node,
+                        "direct mutation of a private '_values' store; go "
+                        "through the counters/metrics API instead",
+                    )
+
+
+class FloatPsAccumulationRule(LintRule):
+    rule_id = "F4T006"
+    title = "float-ps-accum"
+    rationale = (
+        "accumulating fractional picoseconds (`x_ps += a / b`) drifts as "
+        "float error compounds; recompute from absolute values instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            target = node.target
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name is None or not name.endswith("_ps"):
+                continue
+            if self._fractional(node.value):
+                yield self.finding(
+                    ctx, node,
+                    f"accumulating a fractional value into picosecond clock "
+                    f"'{name}' compounds float error; compute the absolute "
+                    "time instead",
+                )
+
+    @staticmethod
+    def _fractional(value: ast.expr) -> bool:
+        for sub in ast.walk(value):
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+                return True
+            if (
+                isinstance(sub, ast.Constant)
+                and isinstance(sub.value, float)
+                and not float(sub.value).is_integer()
+            ):
+                return True
+        return False
+
+
+_RULES: List[LintRule] = [
+    UnseededRandomRule(),
+    WallClockRule(),
+    RawSeqCompareRule(),
+    UnguardedTraceRule(),
+    StatsBypassRule(),
+    FloatPsAccumulationRule(),
+]
+
+
+def all_rules() -> List[LintRule]:
+    return list(_RULES)
+
+
+def get_rule(rule_id: str) -> LintRule:
+    for rule in _RULES:
+        if rule.rule_id == rule_id:
+            return rule
+    raise KeyError(f"unknown rule {rule_id!r}; known: "
+                   + ", ".join(r.rule_id for r in _RULES))

@@ -35,6 +35,19 @@ V_IRS = 1 << 7
 V_MSS = 1 << 8
 V_SACK = 1 << 9
 
+#: Bit -> field name, for the race sanitizer's findings (repro.check).
+VALID_BIT_NAMES = {
+    V_REQ: "req", V_RCV_USER: "rcv_user", V_ACK: "ack", V_WND: "wnd",
+    V_RCV_NXT: "rcv_nxt", V_FLAGS: "flags", V_DUP: "dup", V_IRS: "irs",
+    V_MSS: "mss", V_SACK: "sack",
+}
+
+
+def valid_bit_names(bits: int) -> str:
+    """Human-readable field list for a valid-bit mask (``'ack|wnd'``)."""
+    names = [name for bit, name in VALID_BIT_NAMES.items() if bits & bit]
+    return "|".join(names) if names else "none"
+
 
 @dataclass
 class EventEntry:

@@ -86,6 +86,8 @@ class FlowProcessingCore(Component):
         #: Observability (repro.obs): a TraceBus, or None (free default).
         self.trace = None
         self.trace_name = self.name
+        #: Race sanitizer (repro.check): shadow-state checker, or None.
+        self.san = None
 
     # -------------------------------------------------------------- flows
     @property
@@ -108,8 +110,13 @@ class FlowProcessingCore(Component):
         """
         slot = self.cam.insert(tcb.flow_id)
         tcb.evict_flag = False
+        written = entry if entry is not None else EventEntry()
         self.tcb_table.write(slot, tcb)
-        self.event_table.write(slot, entry if entry is not None else EventEntry())
+        self.event_table.write(slot, written)
+        if self.san is not None:
+            self.san.on_accept(
+                self.fpc_id, self.cycle, slot, tcb.flow_id, written.valid
+            )
         pending = (
             (entry is not None and entry.valid)
             or tcb.can_send_now()
@@ -129,6 +136,8 @@ class FlowProcessingCore(Component):
             return False
         tcb = self.tcb_table.read(slot)
         tcb.evict_flag = True
+        if self.san is not None:
+            self.san.on_evict_request(self.fpc_id, self.cycle, flow_id)
         self._evict_requested.add(flow_id)
         # Route the flow to the FPU so the evict checker sees it soon.
         self._mark_pending(flow_id, priority=True)
@@ -200,8 +209,12 @@ class FlowProcessingCore(Component):
             # miss here means the flow was evicted after routing, which
             # the moving-state protocol prevents.  Drop defensively.
             return
-        self.event_handler.handle(slot, event)
+        entry = self.event_handler.handle(slot, event)
         self.events_accepted += 1
+        if self.san is not None:
+            self.san.on_event_write(
+                self.fpc_id, self.cycle, slot, event.flow_id, entry.valid
+            )
         if self.trace is not None:
             self.trace.emit(
                 self.now_fn() * 1e12, "engine.fpc", self.trace_name,
@@ -227,6 +240,11 @@ class FlowProcessingCore(Component):
             base = self.tcb_table.read(slot)
             snapshot = base.clone()
             entry = self.event_table.read(slot)
+            if self.san is not None:
+                self.san.on_construct(
+                    self.fpc_id, self.cycle, slot, flow_id,
+                    entry.valid if entry is not None else 0,
+                )
             dup = merge_into_tcb(snapshot, entry) if entry is not None else 0
             self._in_flight.add(flow_id)
             issued = self.pipe.issue((slot, snapshot, dup), self.cycle)
@@ -250,6 +268,11 @@ class FlowProcessingCore(Component):
                 )
                 if backlog:
                     self.tcb_table.write(slot, tcb)
+                    if self.san is not None:
+                        self.san.on_tcb_write(
+                            self.fpc_id, self.cycle, slot, tcb.flow_id,
+                            self.fpu.writer_id,
+                        )
                     self._mark_pending(tcb.flow_id, priority=True)
                     continue
                 self._evict_requested.discard(tcb.flow_id)
@@ -257,6 +280,10 @@ class FlowProcessingCore(Component):
                 self.tcb_table.clear(slot)
                 self.event_table.clear(slot)
                 tcb.evict_flag = False
+                if self.san is not None:
+                    self.san.on_evicted(
+                        self.fpc_id, self.cycle, slot, tcb.flow_id
+                    )
                 self.out_evicted.append(tcb)
                 if self.trace is not None:
                     self.trace.emit(
@@ -267,6 +294,11 @@ class FlowProcessingCore(Component):
             current_slot = self.cam.try_lookup(tcb.flow_id)
             if current_slot is not None:
                 self.tcb_table.write(current_slot, tcb)
+                if self.san is not None:
+                    self.san.on_tcb_write(
+                        self.fpc_id, self.cycle, current_slot, tcb.flow_id,
+                        self.fpu.writer_id,
+                    )
                 entry = self.event_table.read(current_slot)
                 if entry is not None and entry.valid:
                     # Events accumulated while we were in the pipeline.

@@ -102,6 +102,12 @@ MAX_RTO_BACKOFF = 10
 class Fpu:
     """Processes constructed TCBs; pure function of (TCB, dupACK count)."""
 
+    #: Writer id the race sanitizer (repro.check) records for FPU
+    #: writebacks: the FPU is the *only* legal writer of the TCB table
+    #: in the dual-memory scheme (§4.2.3), besides the dedicated
+    #: swap-in port.
+    writer_id = "fpu"
+
     def __init__(self, algorithm: str = "newreno") -> None:
         self.cc: CongestionControl = get_algorithm(algorithm)
         self.passes = 0

@@ -415,6 +415,8 @@ class FtEngine(Component):
 
     def _trace_fpu(self, fpc, result: ProcessResult) -> None:
         """One FPU pass (and any state transition) onto the trace bus."""
+        if self.trace is None:
+            return
         tcb = result.tcb
         component = f"{self.trace_name}/fpc{fpc.fpc_id}"
         directives = ", ".join(

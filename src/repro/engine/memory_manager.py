@@ -59,6 +59,8 @@ class MemoryManager(Component):
         #: Observability (repro.obs): a TraceBus, or None (free default).
         self.trace = None
         self.trace_name = self.name
+        #: Race sanitizer (repro.check): shadow-state checker, or None.
+        self.san = None
 
     # ------------------------------------------------------------- stores
     def __contains__(self, flow_id: int) -> bool:
@@ -76,6 +78,8 @@ class MemoryManager(Component):
                 "store", tcb.flow_id, tcb.state.value,
             )
         self._resident[tcb.flow_id] = (tcb, entry if entry is not None else EventEntry())
+        if self.san is not None:
+            self.san.on_dram_store(self.cycle, tcb.flow_id)
         self._touch_cache(tcb.flow_id, write=True)
         self._swap_in_pending.discard(tcb.flow_id)
 
@@ -89,6 +93,8 @@ class MemoryManager(Component):
                 "take", flow_id,
             )
         self._charge_dram(read=True, flow_id=flow_id, evicting=True)
+        if self.san is not None:
+            self.san.on_dram_take(self.cycle, flow_id)
         self._swap_in_pending.discard(flow_id)
         return self._resident.pop(flow_id)
 
@@ -170,6 +176,8 @@ class MemoryManager(Component):
         self._touch_cache(event.flow_id)
         accumulate_event(entry, event)
         self.events_handled += 1
+        if self.san is not None:
+            self.san.on_dram_write(self.cycle, event.flow_id, entry.valid)
         # Check logic: would this flow emit a packet if processed?  It
         # merges a *copy* — it must not process or write back (§4.3.1).
         probe = tcb.clone()

@@ -96,6 +96,8 @@ class Scheduler(Component):
         #: Observability (repro.obs): a TraceBus, or None (free default).
         self.trace = None
         self.trace_name = self.name
+        #: Race sanitizer (repro.check): shadow-state checker, or None.
+        self.san = None
 
     # ------------------------------------------------------- registration
     def register_new_flow(self, tcb: Tcb) -> Location:
@@ -122,8 +124,12 @@ class Scheduler(Component):
                 fpc.cam.remove(flow_id)
                 fpc.tcb_table.clear(slot)
                 fpc.event_table.clear(slot)
+                if self.san is not None:
+                    self.san.on_slot_clear(fpc_id, slot)
         elif location is Location.DRAM and flow_id in self.memory_manager:
             self.memory_manager.take(flow_id)
+        if self.san is not None:
+            self.san.on_flow_closed(flow_id)
         self.lut.delete(flow_id)
 
     def location_of(self, flow_id: int) -> Optional[Location]:
@@ -249,6 +255,8 @@ class Scheduler(Component):
             return
         self.lut.set(flow_id, (Location.MOVING, source_fpc))
         self._migrations[flow_id] = _Migration(flow_id, source_fpc, kind="congestion")
+        if self.san is not None:
+            self.san.on_migration_start(self.cycle, flow_id, source_fpc)
         if self.trace is not None:
             self.trace.emit(
                 self.cycle * _CYCLE_PS, "engine.sched", self.trace_name,
@@ -268,6 +276,8 @@ class Scheduler(Component):
         self._migrations[victim] = _Migration(
             victim, fpc.fpc_id, kind="capacity", then_swap_in=then_swap_in
         )
+        if self.san is not None:
+            self.san.on_migration_start(self.cycle, victim, fpc.fpc_id)
         if self.trace is not None:
             self.trace.emit(
                 self.cycle * _CYCLE_PS, "engine.sched", self.trace_name,

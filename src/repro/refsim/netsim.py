@@ -12,6 +12,11 @@ shared code.
 Model: one sender with unlimited data, a bottleneck link (rate + fixed
 one-way delay, unbounded queue), a receiver that ACKs every segment, and
 fault injection that drops chosen data-packet indices.
+
+The congestion logic shares no code with :mod:`repro.tcp.congestion`,
+but sequence-space *comparisons* go through :mod:`repro.tcp.seq` (pure
+modular arithmetic, not engine logic) so they stay correct past the
+2^32 wrap, per the repo's F4T003 hygiene rule.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set, Tuple
+
+from ..tcp.seq import seq_ge, seq_gt, seq_lt
 
 
 @dataclass
@@ -63,7 +70,7 @@ class _RefNewReno:
         """Returns True if the sender should retransmit (partial ACK)."""
         self.dupacks = 0
         if self.in_recovery:
-            if snd_una >= self.recover:
+            if seq_ge(snd_una, self.recover):
                 # Full ACK: deflate (RFC 6582 step 1).
                 self.cwnd = min(self.ssthresh, max(snd_nxt - snd_una, self.mss) + self.mss)
                 self.in_recovery = False
@@ -122,7 +129,7 @@ class _RefCubic(_RefNewReno):
     def on_new_ack(self, acked_bytes: int, snd_una: int, snd_nxt: int) -> bool:
         self.dupacks = 0
         if self.in_recovery:
-            if snd_una >= self.recover:
+            if seq_ge(snd_una, self.recover):
                 self.cwnd = min(self.ssthresh, max(snd_nxt - snd_una, self.mss) + self.mss)
                 self.in_recovery = False
                 return False
@@ -202,7 +209,7 @@ class _RefVegas(_RefNewReno):
 
     def on_new_ack(self, acked_bytes: int, snd_una: int, snd_nxt: int) -> bool:
         retransmit = super().on_new_ack(acked_bytes, snd_una, snd_nxt)
-        if self.in_recovery or snd_una < self.epoch_end:
+        if self.in_recovery or seq_lt(snd_una, self.epoch_end):
             return retransmit
         # One decision per epoch (per RTT worth of data).
         self.epoch_end = snd_nxt
@@ -309,7 +316,7 @@ class ReferenceTcpSimulation:
                 snd_nxt = snd_una
                 send_segments()
                 continue
-            if rto_deadline < events[0][0] and snd_nxt > snd_una:
+            if rto_deadline < events[0][0] and seq_gt(snd_nxt, snd_una):
                 # Timer fires before the next packet event.
                 now = rto_deadline
                 if now >= self.duration_s:
@@ -330,13 +337,13 @@ class ReferenceTcpSimulation:
                     while rcv_nxt in ooo:
                         ooo.discard(rcv_nxt)
                         rcv_nxt += mss
-                elif value > rcv_nxt:
+                elif seq_gt(value, rcv_nxt):
                     ooo.add(value)
                 heapq.heappush(events, (now + delay, counter, "ack", rcv_nxt))
                 counter += 1
             else:  # ack at sender
                 ack = value
-                if ack > snd_una:
+                if seq_gt(ack, snd_una):
                     acked = ack - snd_una
                     snd_una = ack
                     rto_deadline = now + self.rto_s
@@ -354,7 +361,7 @@ class ReferenceTcpSimulation:
                     if retransmit:
                         send_segments(start_override=snd_una)
                     send_segments()
-                elif ack == snd_una and snd_nxt > snd_una:
+                elif ack == snd_una and seq_gt(snd_nxt, snd_una):
                     if cc.on_dupack(snd_nxt - snd_una):
                         cc.set_recover(snd_nxt)
                         send_segments(start_override=snd_una)

@@ -1,0 +1,160 @@
+"""simlint rules: known-good and known-bad snippets for every rule."""
+
+from repro.check import layer_of, lint_source
+from repro.check.rules import all_rules, get_rule
+
+
+def ids(findings):
+    return [finding.rule for finding in findings]
+
+
+def lint_in_layer(source, layer="engine"):
+    return lint_source(source, path=f"src/repro/{layer}/mod.py")
+
+
+class TestRegistry:
+    def test_rule_ids_unique_and_formatted(self):
+        seen = [rule.rule_id for rule in all_rules()]
+        assert len(seen) == len(set(seen))
+        for rule_id in seen:
+            assert rule_id.startswith("F4T") and len(rule_id) == 6
+
+    def test_get_rule(self):
+        assert get_rule("F4T001").rule_id == "F4T001"
+
+    def test_layer_of(self):
+        assert layer_of("src/repro/engine/fpc.py") == "engine"
+        assert layer_of("src/repro/__main__.py") == ""
+        assert layer_of("tests/engine/test_fpc.py") is None
+
+
+class TestUnseededRandom:
+    def test_unseeded_random_flagged(self):
+        bad = "import random\n\nx = random.Random()\n"
+        assert "F4T001" in ids(lint_in_layer(bad))
+
+    def test_module_level_random_flagged(self):
+        bad = "import random\n\nx = random.randint(0, 7)\n"
+        assert "F4T001" in ids(lint_in_layer(bad))
+
+    def test_seeded_random_ok(self):
+        good = "import random\n\nx = random.Random(42)\n"
+        assert ids(lint_in_layer(good)) == []
+
+    def test_outside_sim_layers_ok(self):
+        bad = "import random\n\nx = random.Random()\n"
+        assert lint_source(bad, path="src/repro/analysis/plots.py") == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        bad = "import time\n\nnow = time.time()\n"
+        findings = lint_in_layer(bad)
+        assert ids(findings) == ["F4T002"]
+        assert findings[0].line == 3
+
+    def test_datetime_now_flagged(self):
+        bad = "import datetime\n\nnow = datetime.datetime.now()\n"
+        assert "F4T002" in ids(lint_in_layer(bad))
+
+    def test_monotonic_deadline_outside_sim_ok(self):
+        ok = "import time\n\nnow = time.time()\n"
+        assert lint_source(ok, path="src/repro/lab/runner.py") == []
+
+
+class TestRawSeqCompare:
+    def test_raw_lt_on_seq_names_flagged(self):
+        bad = "def f(tcb, seg_ack):\n    return tcb.snd_una < seg_ack\n"
+        findings = lint_in_layer(bad, layer="tcp")
+        assert ids(findings) == ["F4T003"]
+        assert "seq_lt" in findings[0].message
+
+    def test_helper_call_ok(self):
+        good = (
+            "from repro.tcp.seq import seq_lt\n\n"
+            "def f(tcb, seg_ack):\n"
+            "    return seq_lt(tcb.snd_una, seg_ack)\n"
+        )
+        assert lint_in_layer(good, layer="tcp") == []
+
+    def test_literal_comparison_ok(self):
+        # Comparing against a literal (e.g. 0) is not wraparound-prone.
+        good = "def f(tcb):\n    return tcb.snd_una < 0\n"
+        assert lint_in_layer(good, layer="tcp") == []
+
+    def test_seq_module_itself_exempt(self):
+        impl = "def seq_lt(a, b):\n    return a < b\n"
+        assert lint_source(impl, path="src/repro/tcp/seq.py") == []
+
+
+class TestUnguardedTrace:
+    def test_bare_emit_flagged(self):
+        bad = (
+            "class C:\n"
+            "    def f(self):\n"
+            "        self.trace.emit('x', 1)\n"
+        )
+        assert ids(lint_in_layer(bad)) == ["F4T004"]
+
+    def test_if_guard_ok(self):
+        good = (
+            "class C:\n"
+            "    def f(self):\n"
+            "        if self.trace is not None:\n"
+            "            self.trace.emit('x', 1)\n"
+        )
+        assert lint_in_layer(good) == []
+
+    def test_early_return_guard_ok(self):
+        good = (
+            "class C:\n"
+            "    def f(self):\n"
+            "        if self.trace is None:\n"
+            "            return\n"
+            "        self.trace.emit('x', 1)\n"
+        )
+        assert lint_in_layer(good) == []
+
+
+class TestStatsBypass:
+    def test_counter_dict_mutation_flagged(self):
+        bad = "def f(stats):\n    stats._values['retransmissions'] += 1\n"
+        assert ids(lint_in_layer(bad)) == ["F4T005"]
+
+    def test_metrics_api_ok(self):
+        good = "def f(stats):\n    stats.incr('retransmissions')\n"
+        assert lint_in_layer(good) == []
+
+    def test_stats_module_itself_exempt(self):
+        impl = "def incr(self, name):\n    self._values[name] += 1\n"
+        assert lint_source(impl, path="src/repro/sim/stats.py") == []
+
+
+class TestFloatPsAccumulation:
+    def test_float_division_into_ps_flagged(self):
+        bad = "def f(self, delta):\n    self.now_ps += delta / 3\n"
+        assert ids(lint_in_layer(bad, layer="sim")) == ["F4T006"]
+
+    def test_integer_accumulation_ok(self):
+        good = "def f(self, delta):\n    self.now_ps += delta // 3\n"
+        assert lint_in_layer(good, layer="sim") == []
+
+
+class TestNoqa:
+    def test_noqa_suppresses_matching_rule(self):
+        src = "import time\n\nnow = time.time()  # f4t: noqa[F4T002]\n"
+        assert lint_in_layer(src) == []
+
+    def test_bare_noqa_suppresses_all(self):
+        src = "import time\n\nnow = time.time()  # f4t: noqa\n"
+        assert lint_in_layer(src) == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        src = "import time\n\nnow = time.time()  # f4t: noqa[F4T001]\n"
+        assert ids(lint_in_layer(src)) == ["F4T002"]
+
+
+class TestSyntaxError:
+    def test_unparsable_file_reported_not_crashed(self):
+        findings = lint_in_layer("def broken(:\n")
+        assert ids(findings) == ["F4T000"]
