@@ -9,6 +9,7 @@ Subcommands::
     python -m repro lab run ...       # parallel, resumable sweeps
     python -m repro obs summary ...   # inspect exported traces
     python -m repro check all         # static analyzer + race sanitizer
+    python -m repro perf run          # benchmark suite -> BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -441,9 +442,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_lab_parser(subparsers)
     from repro.check.cli import add_check_parser, main as check_main
     from repro.obs.cli import add_obs_parser, main as obs_main
+    from repro.perf.cli import add_perf_parser, main as perf_main
 
     add_obs_parser(subparsers)
     add_check_parser(subparsers)
+    add_perf_parser(subparsers)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -455,6 +458,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lab": _cmd_lab,
         "obs": obs_main,
         "check": check_main,
+        "perf": perf_main,
     }
     if args.command is None:
         parser.print_help()

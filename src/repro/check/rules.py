@@ -16,6 +16,9 @@ knows:
   ``.record()``), never by poking the private ``_values`` store.
 * **F4T006** — picosecond clocks must not accumulate fractional floats
   (``+=`` of a division drifts); recompute from absolute values.
+* **F4T007** — kernel time is integer picoseconds end-to-end: in the
+  ``sim``/``engine`` layers, no float literal may be assigned into
+  ``*_ps`` instance state outside the calibrated-constants modules.
 """
 
 from __future__ import annotations
@@ -448,6 +451,59 @@ class FloatPsAccumulationRule(LintRule):
         return False
 
 
+class FloatPsStateRule(LintRule):
+    rule_id = "F4T007"
+    title = "float-ps-state"
+    rationale = (
+        "kernel time is integer picoseconds end-to-end (PR 5); a float "
+        "literal assigned into `*_ps` instance state reintroduces drift — "
+        "keep physical/calibrated float constants in the exempted modules"
+    )
+    #: Only the clocked layers carry kernel time; hosts/analysis are free.
+    layers = frozenset({"sim", "engine"})
+    #: Calibrated physical-latency models legitimately hold fractional
+    #: picoseconds (e.g. DRAM occupancy = bytes / bandwidth).
+    exempt_suffixes = (
+        "repro/sim/memory.py",
+        "repro/host/calibration.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value: Optional[ast.expr] = node.value
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if value is None or not self._has_float_literal(value):
+                continue
+            for target in targets:
+                # Instance state only (self.time_ps = ...): locals like
+                # `max_time_ps` legitimately hold float bounds.
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr.endswith("_ps")
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        f"float literal assigned into picosecond state "
+                        f"'{target.attr}'; kernel time is integer ps — use "
+                        "an int literal or move the constant to a "
+                        "calibrated-constants module",
+                    )
+                    break
+
+    @staticmethod
+    def _has_float_literal(value: ast.expr) -> bool:
+        for sub in ast.walk(value):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+                return True
+        return False
+
+
 _RULES: List[LintRule] = [
     UnseededRandomRule(),
     WallClockRule(),
@@ -455,6 +511,7 @@ _RULES: List[LintRule] = [
     UnguardedTraceRule(),
     StatsBypassRule(),
     FloatPsAccumulationRule(),
+    FloatPsStateRule(),
 ]
 
 

@@ -53,7 +53,9 @@ from ..sim.memory import DRAMModel
 
 #: FtEngine's main clock (§4.1): control path at 250 MHz.
 ENGINE_FREQ_HZ = 250e6
-ENGINE_PERIOD_PS = 1e12 / ENGINE_FREQ_HZ
+#: Exact integer picoseconds per 250 MHz cycle — kernel time is integer
+#: ps end-to-end (simlint F4T007); 250 MHz divides 1 THz evenly.
+ENGINE_PERIOD_PS = 10**12 // int(ENGINE_FREQ_HZ)
 
 
 @dataclass
@@ -187,7 +189,7 @@ class FtEngine(Component):
 
     # ---------------------------------------------------------------- time
     @property
-    def time_ps(self) -> float:
+    def time_ps(self) -> int:
         return self.cycle * ENGINE_PERIOD_PS
 
     @property

@@ -40,7 +40,7 @@ class MemoryManager(Component):
         self.cache_entries = cache_entries
         # Fall back to the component's own 250 MHz cycle clock when no
         # engine-level time source is wired in (standalone use).
-        self.time_ps_fn = time_ps_fn or (lambda: self.cycle * 4000.0)
+        self.time_ps_fn = time_ps_fn or (lambda: self.cycle * 4000)
 
         #: Functional home of DRAM-resident state: flow -> (TCB, events).
         self._resident: Dict[int, Tuple[Tcb, EventEntry]] = {}

@@ -37,9 +37,10 @@ PENDING_RETRY_CYCLES = 12
 COALESCE_FIFOS = 4
 COALESCE_DEPTH = 16
 
-#: One 250 MHz cycle, for trace timestamps.  (Duplicated from ftengine,
-#: which imports this module; the engine keeps our cycle aligned to its.)
-_CYCLE_PS = 4000.0
+#: One 250 MHz cycle in exact integer picoseconds, for trace timestamps.
+#: (Duplicated from ftengine, which imports this module; the engine keeps
+#: our cycle aligned to its.)
+_CYCLE_PS = 4000
 
 
 class Location(enum.Enum):

@@ -1,0 +1,47 @@
+"""repro.perf — the repo's performance-regression harness.
+
+Every layer below this one is a cycle-level model whose usefulness
+depends on wall-clock speed: the ROADMAP's north star is a system that
+"runs as fast as the hardware allows" under heavy open-loop traffic, and
+a kernel regression silently multiplies the cost of every
+``repro.traffic`` sweep and every ``repro.lab`` grid.  This package
+gives the repo a perf trajectory:
+
+* seeded **micro** benchmarks (kernel step, FPC event feed, scheduler
+  migration churn) and **macro** benchmarks (the mixed/churn traffic
+  scenarios over the two-engine testbed);
+* an interleaved min-of-N timing harness, so slow drift (thermal,
+  background load) hits every benchmark equally instead of biasing the
+  last one measured;
+* ``BENCH_perf.json`` output carrying the git sha, per-benchmark
+  wall-clock, events/s and simulated-time/wall-clock ratio — plus the
+  macro scenarios' obs trace-stream sha256 fingerprints, which prove a
+  faster kernel is still cycle-for-cycle identical;
+* ``python -m repro perf compare old.json new.json`` for CI gating.
+
+Unlike the simulation layers, this package is *allowed* to read wall
+clocks — it is deliberately outside simlint's ``SIM_LAYERS``.
+"""
+
+from .bench import (
+    BenchResult,
+    Benchmark,
+    compare_payloads,
+    load_payload,
+    results_to_payload,
+    run_benchmarks,
+    write_payload,
+)
+from .suite import available_benchmarks, build_benchmarks
+
+__all__ = [
+    "BenchResult",
+    "Benchmark",
+    "available_benchmarks",
+    "build_benchmarks",
+    "compare_payloads",
+    "load_payload",
+    "results_to_payload",
+    "run_benchmarks",
+    "write_payload",
+]

@@ -1,0 +1,202 @@
+"""Interleaved min-of-N timing harness and BENCH_perf.json I/O.
+
+The measurement discipline (borrowed from pyperf and the kernel's own
+perf tooling):
+
+* every benchmark is run ``repeats`` times and the **minimum** wall
+  clock is reported — the minimum is the run least disturbed by noise,
+  and simulation benchmarks are deterministic so there is no "true"
+  variance to preserve;
+* rounds are **interleaved** (A B C, A B C, ...) rather than batched
+  (A A, B B, C C), so slow environmental drift lands on every benchmark
+  equally instead of making whichever ran last look slower;
+* each round calls ``setup()`` outside the timed region, so construction
+  cost never pollutes the measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+SCHEMA = "repro.perf/1"
+
+
+class Benchmark:
+    """One measurable workload: untimed ``setup()``, timed ``run()``.
+
+    ``run()`` returns ``(events, sim_time_s)``: how many unit operations
+    the timed region performed (kernel steps, engine events, completed
+    requests — see ``events_unit``) and how much simulated time it
+    covered (0.0 when the notion doesn't apply).
+    """
+
+    name = "benchmark"
+    events_unit = "events"
+
+    def setup(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def run(self) -> Tuple[int, float]:
+        raise NotImplementedError
+
+    def fingerprint(self) -> Optional[str]:
+        """Optional cycle-exactness oracle, computed once outside timing."""
+        return None
+
+
+@dataclass
+class BenchResult:
+    name: str
+    events_unit: str
+    wall_s: float          # min over rounds
+    events: int            # per round (deterministic workloads)
+    events_per_s: float
+    sim_time_s: float      # simulated seconds covered by the timed region
+    sim_ratio: float       # sim_time_s / wall_s (0 when sim_time_s is 0)
+    rounds: int
+    all_wall_s: List[float] = field(default_factory=list)
+    fingerprint: Optional[str] = None
+
+
+def run_benchmarks(
+    benchmarks: List[Benchmark],
+    repeats: int = 5,
+    timer: Callable[[], float] = time.perf_counter,
+    with_fingerprints: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchResult]:
+    """Time every benchmark with interleaved min-of-N rounds."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    walls: Dict[str, List[float]] = {b.name: [] for b in benchmarks}
+    measured: Dict[str, Tuple[int, float]] = {}
+    for round_index in range(repeats):
+        for bench in benchmarks:
+            if progress is not None:
+                progress(f"round {round_index + 1}/{repeats}: {bench.name}")
+            bench.setup()
+            start = timer()
+            events, sim_time_s = bench.run()
+            walls[bench.name].append(timer() - start)
+            measured[bench.name] = (events, sim_time_s)
+    results = []
+    for bench in benchmarks:
+        events, sim_time_s = measured[bench.name]
+        wall = min(walls[bench.name])
+        fingerprint = None
+        if with_fingerprints:
+            if progress is not None:
+                progress(f"fingerprint: {bench.name}")
+            fingerprint = bench.fingerprint()
+        results.append(
+            BenchResult(
+                name=bench.name,
+                events_unit=bench.events_unit,
+                wall_s=wall,
+                events=events,
+                events_per_s=events / wall if wall > 0 else 0.0,
+                sim_time_s=sim_time_s,
+                sim_ratio=sim_time_s / wall if wall > 0 and sim_time_s else 0.0,
+                rounds=repeats,
+                all_wall_s=walls[bench.name],
+                fingerprint=fingerprint,
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------- payloads
+def results_to_payload(
+    results: List[BenchResult], quick: bool = False
+) -> Dict[str, object]:
+    """The BENCH_perf.json document: provenance plus one row per bench."""
+    from ..lab.grid import provenance
+
+    meta = provenance()
+    return {
+        "schema": SCHEMA,
+        "git_sha": meta["git_sha"],
+        "package_version": meta["package_version"],
+        "recorded_at": meta["recorded_at"],
+        "quick": quick,
+        "benchmarks": [
+            {
+                "name": r.name,
+                "events_unit": r.events_unit,
+                "wall_s": r.wall_s,
+                "events": r.events,
+                "events_per_s": r.events_per_s,
+                "sim_time_s": r.sim_time_s,
+                "sim_ratio": r.sim_ratio,
+                "rounds": r.rounds,
+                "all_wall_s": r.all_wall_s,
+                "fingerprint": r.fingerprint,
+            }
+            for r in results
+        ],
+    }
+
+
+def write_payload(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_payload(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "benchmarks" not in payload:
+        raise ValueError(f"{path}: not a BENCH_perf.json document")
+    return payload
+
+
+@dataclass
+class Regression:
+    name: str
+    old_wall_s: float
+    new_wall_s: float
+    ratio: float           # new / old; > 1 means slower
+    fingerprint_changed: bool
+
+
+def compare_payloads(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    threshold: float = 0.25,
+) -> List[Regression]:
+    """Benchmarks slower than ``(1 + threshold)×`` old, or trace-divergent.
+
+    A changed fingerprint is reported as a regression regardless of
+    speed: the macro benchmarks' trace hash is the cycle-exactness
+    contract, and "faster but different" is a correctness bug, not a
+    win.
+    """
+    old_rows = {row["name"]: row for row in old["benchmarks"]}  # type: ignore[index]
+    regressions: List[Regression] = []
+    for row in new["benchmarks"]:  # type: ignore[index]
+        base = old_rows.get(row["name"])
+        if base is None:
+            continue
+        ratio = (
+            row["wall_s"] / base["wall_s"] if base["wall_s"] > 0 else 1.0
+        )
+        fingerprint_changed = (
+            base.get("fingerprint") is not None
+            and row.get("fingerprint") is not None
+            and base["fingerprint"] != row["fingerprint"]
+        )
+        if ratio > 1.0 + threshold or fingerprint_changed:
+            regressions.append(
+                Regression(
+                    name=row["name"],
+                    old_wall_s=base["wall_s"],
+                    new_wall_s=row["wall_s"],
+                    ratio=ratio,
+                    fingerprint_changed=fingerprint_changed,
+                )
+            )
+    return regressions

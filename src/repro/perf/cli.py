@@ -1,0 +1,146 @@
+"""``python -m repro perf`` — run, list and compare benchmarks.
+
+* ``run``     — execute the suite (or ``--only`` a subset) and write
+  ``BENCH_perf.json``; ``--quick`` shrinks micro sizes and rounds for CI.
+* ``list``    — the available benchmark names.
+* ``compare`` — diff two BENCH_perf.json files; exits 1 when a benchmark
+  slowed past the threshold or a macro trace fingerprint changed.
+
+The handlers live here (not in ``repro.__main__``) so they are
+importable and testable like any other library function.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .bench import (
+    BenchResult,
+    compare_payloads,
+    load_payload,
+    results_to_payload,
+    run_benchmarks,
+    write_payload,
+)
+from .suite import available_benchmarks, build_benchmarks
+
+DEFAULT_OUT = "BENCH_perf.json"
+
+
+def _render_results(results: List[BenchResult]) -> str:
+    lines = [
+        f"{'benchmark':<20} {'wall (s)':>10} {'events/s':>14} "
+        f"{'sim/wall':>10}  unit"
+    ]
+    for r in results:
+        ratio = f"{r.sim_ratio:.2e}" if r.sim_ratio else "-"
+        lines.append(
+            f"{r.name:<20} {r.wall_s:>10.4f} {r.events_per_s:>14,.0f} "
+            f"{ratio:>10}  {r.events_unit}"
+        )
+        if r.fingerprint:
+            lines.append(f"{'':<20}   trace sha256 {r.fingerprint[:16]}…")
+    return "\n".join(lines)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    names = args.only.split(",") if args.only else None
+    try:
+        benchmarks = build_benchmarks(names, quick=args.quick)
+    except KeyError as exc:
+        raise SystemExit(f"perf: {exc.args[0]}")
+    repeats = args.repeats if args.repeats else (2 if args.quick else 5)
+    results = run_benchmarks(
+        benchmarks,
+        repeats=repeats,
+        with_fingerprints=not args.no_fingerprints,
+        progress=(lambda line: print(f"  {line}", file=sys.stderr))
+        if args.verbose
+        else None,
+    )
+    print(_render_results(results))
+    payload = results_to_payload(results, quick=args.quick)
+    write_payload(payload, args.out)
+    print(f"wrote {args.out} (git {payload['git_sha'][:12]})")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for name in available_benchmarks():
+        print(name)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        old = load_payload(args.old)
+        new = load_payload(args.new)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"perf: {exc}")
+    regressions = compare_payloads(old, new, threshold=args.threshold)
+    old_rows = {row["name"]: row for row in old["benchmarks"]}
+    for row in new["benchmarks"]:
+        base = old_rows.get(row["name"])
+        if base is None:
+            print(f"{row['name']:<20} new benchmark, no baseline")
+            continue
+        ratio = row["wall_s"] / base["wall_s"] if base["wall_s"] else 1.0
+        print(
+            f"{row['name']:<20} {base['wall_s']:.4f}s -> {row['wall_s']:.4f}s "
+            f"({ratio:.2f}x)"
+        )
+    if not regressions:
+        print(f"ok: no benchmark slowed more than {args.threshold:.0%}")
+        return 0
+    for regression in regressions:
+        reason = (
+            "trace fingerprint changed"
+            if regression.fingerprint_changed
+            else f"{regression.ratio:.2f}x slower"
+        )
+        print(f"REGRESSION {regression.name}: {reason}", file=sys.stderr)
+    return 1
+
+
+def add_perf_parser(subparsers: argparse._SubParsersAction) -> None:
+    perf = subparsers.add_parser(
+        "perf", help="benchmark the kernel and traffic stack (repro.perf)"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command")
+
+    run = perf_sub.add_parser("run", help="run benchmarks, write BENCH_perf.json")
+    run.add_argument("--quick", action="store_true",
+                     help="small sizes and 2 rounds (CI smoke)")
+    run.add_argument("--only", metavar="NAMES",
+                     help="comma-separated benchmark names")
+    run.add_argument("--repeats", type=int, default=0,
+                     help="rounds per benchmark (default 5, --quick 2)")
+    run.add_argument("--out", default=DEFAULT_OUT,
+                     help=f"output path (default {DEFAULT_OUT})")
+    run.add_argument("--no-fingerprints", action="store_true",
+                     help="skip the traced cycle-exactness re-runs")
+    run.add_argument("--verbose", action="store_true",
+                     help="print per-round progress to stderr")
+    run.set_defaults(perf_handler=cmd_run)
+
+    lister = perf_sub.add_parser("list", help="list benchmark names")
+    lister.set_defaults(perf_handler=cmd_list)
+
+    compare = perf_sub.add_parser(
+        "compare", help="diff two BENCH_perf.json files (exit 1 on regression)"
+    )
+    compare.add_argument("old", help="baseline BENCH_perf.json")
+    compare.add_argument("new", help="candidate BENCH_perf.json")
+    compare.add_argument("--threshold", type=float, default=0.25,
+                         help="allowed slowdown fraction (default 0.25)")
+    compare.set_defaults(perf_handler=cmd_compare)
+
+
+def main(args: argparse.Namespace) -> int:
+    handler = getattr(args, "perf_handler", None)
+    if handler is None:
+        print("usage: python -m repro perf {run,list,compare}")
+        return 2
+    return handler(args)

@@ -1,0 +1,206 @@
+"""The repo's benchmark suite: seeded micro + macro workloads.
+
+Micro benchmarks isolate the three inner loops every exhibit sits on:
+
+* ``kernel.step``      — the two-domain (250/322 MHz) Simulator edge loop;
+* ``fpc.event``        — one FPC fed an event per free input slot (§4.2.3's
+  one-event-per-2-cycles rate is the workload, not the assertion);
+* ``scheduler.migrate``— a slot-starved scheduler forced to churn
+  evictions and swap-ins through the memory manager (§4.3.2).
+
+Macro benchmarks run the real traffic scenarios end to end on the
+two-engine testbed, seeded so every round does identical work:
+
+* ``traffic.mixed`` / ``traffic.churn`` — wall-clock of a full untraced
+  run; ``fingerprint()`` re-runs once with the obs TraceBus attached and
+  hashes the trace stream, giving BENCH_perf.json a cycle-exactness
+  oracle alongside the speed numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .bench import Benchmark
+
+
+class KernelStepBenchmark(Benchmark):
+    """Tick interleaved 250 MHz / 322 MHz domains through Simulator.step."""
+
+    name = "kernel.step"
+    events_unit = "steps"
+
+    def __init__(self, quick: bool = False) -> None:
+        self.steps = 20_000 if quick else 200_000
+        self._sim = None
+
+    def setup(self) -> None:
+        from ..sim.component import Component
+        from ..sim.kernel import Simulator
+
+        sim = Simulator()
+        sim.add_domain("engine", 250e6)
+        sim.add_domain("eth", 322e6)
+        sim.add_component(Component("ctrl"), "engine")
+        sim.add_component(Component("mac"), "eth")
+        self._sim = sim
+
+    def run(self) -> Tuple[int, float]:
+        sim = self._sim
+        step = sim.step
+        for _ in range(self.steps):
+            step()
+        return self.steps, sim.time_seconds
+
+
+class FpcEventBenchmark(Benchmark):
+    """Feed one FPC an event whenever its input FIFO has room (§4.2.3)."""
+
+    name = "fpc.event"
+    events_unit = "events"
+
+    def __init__(self, quick: bool = False) -> None:
+        self.cycles = 10_000 if quick else 100_000
+        self._fpc = None
+
+    def setup(self) -> None:
+        from ..engine.baseline import NullFpu
+        from ..engine.fpc import FlowProcessingCore
+        from ..tcp.state_machine import TcpState
+        from ..tcp.tcb import Tcb
+
+        fpc = FlowProcessingCore(0, slots=8, fpu=NullFpu(4))
+        for flow_id in range(8):
+            fpc.accept_tcb(Tcb(flow_id=flow_id, state=TcpState.ESTABLISHED))
+        self._fpc = fpc
+
+    def run(self) -> Tuple[int, float]:
+        from ..engine.events import user_send_event
+
+        fpc = self._fpc
+        offered = 0
+        for _ in range(self.cycles):
+            if not fpc.input.full:
+                fpc.offer_event(user_send_event(offered % 8, offered + 1, 0.0))
+                offered += 1
+            fpc.tick()
+            fpc.drain_results()
+        # 250 MHz cycles -> seconds.
+        return fpc.events_accepted, self.cycles * 4e-9
+
+
+class SchedulerMigrateBenchmark(Benchmark):
+    """Churn evictions/swap-ins by targeting DRAM-resident flows (§4.3.2)."""
+
+    name = "scheduler.migrate"
+    events_unit = "migrations"
+
+    def __init__(self, quick: bool = False) -> None:
+        self.cycles = 4_000 if quick else 40_000
+        self._parts = None
+
+    def setup(self) -> None:
+        from ..engine.baseline import NullFpu
+        from ..engine.fpc import FlowProcessingCore
+        from ..engine.memory_manager import MemoryManager
+        from ..engine.scheduler import Scheduler
+        from ..sim.memory import DRAMModel
+        from ..tcp.tcb import Tcb
+
+        fpcs = [
+            FlowProcessingCore(i, slots=2, fpu=NullFpu(4)) for i in range(2)
+        ]
+        manager = MemoryManager(DRAMModel.hbm())
+        scheduler = Scheduler(fpcs, manager, coalescing=True)
+        # 4 flows fit in the FPCs; 4 overflow to DRAM, so events that
+        # round-robin over all 8 keep forcing migrations.
+        for flow_id in range(8):
+            scheduler.register_new_flow(Tcb(flow_id=flow_id))
+        self._parts = (scheduler, fpcs, manager)
+
+    def run(self) -> Tuple[int, float]:
+        from ..engine.events import user_send_event
+
+        scheduler, fpcs, manager = self._parts
+        flow = 0
+        for _ in range(self.cycles):
+            scheduler.submit(user_send_event(flow % 8, flow + 1, 0.0))
+            flow += 1
+            scheduler.tick()
+            manager.tick()
+            for fpc in fpcs:
+                fpc.tick()
+                fpc.drain_results()
+        migrations = scheduler.evictions + scheduler.swap_ins
+        return migrations, self.cycles * 4e-9
+
+
+class TrafficScenarioBenchmark(Benchmark):
+    """Full seeded LoadEngine run of one scenario; events = completions."""
+
+    events_unit = "requests"
+
+    def __init__(self, scenario: str, seed: int = 1234) -> None:
+        self.name = f"traffic.{scenario}"
+        self.scenario = scenario
+        self.seed = seed
+        self._load_engine = None
+        self._sim_time_s = 0.0
+        self._completed = 0
+
+    def _build(self):
+        from ..traffic import get_scenario
+        from ..traffic.engine import LoadEngine
+
+        return LoadEngine(get_scenario(self.scenario, seed=self.seed))
+
+    def setup(self) -> None:
+        self._load_engine = self._build()
+
+    def run(self) -> Tuple[int, float]:
+        load_engine = self._load_engine
+        result = load_engine.run()
+        self._sim_time_s = load_engine.testbed.now_s
+        self._completed = sum(m.completed for m in result.classes.values())
+        return self._completed, self._sim_time_s
+
+    def fingerprint(self) -> Optional[str]:
+        from ..obs.hooks import attach_load_engine
+        from ..obs.trace import TraceBus, fingerprint
+
+        load_engine = self._build()
+        bus = TraceBus()
+        attach_load_engine(load_engine, bus)
+        load_engine.run()
+        return fingerprint(bus.events)
+
+
+_MICRO = ("kernel.step", "fpc.event", "scheduler.migrate")
+_MACRO = ("traffic.mixed", "traffic.churn")
+
+
+def available_benchmarks() -> List[str]:
+    return list(_MICRO + _MACRO)
+
+
+def build_benchmarks(
+    names: Optional[List[str]] = None, quick: bool = False
+) -> List[Benchmark]:
+    if names is None:
+        names = available_benchmarks()
+    benches: List[Benchmark] = []
+    for name in names:
+        if name == "kernel.step":
+            benches.append(KernelStepBenchmark(quick=quick))
+        elif name == "fpc.event":
+            benches.append(FpcEventBenchmark(quick=quick))
+        elif name == "scheduler.migrate":
+            benches.append(SchedulerMigrateBenchmark(quick=quick))
+        elif name.startswith("traffic."):
+            benches.append(TrafficScenarioBenchmark(name.split(".", 1)[1]))
+        else:
+            raise KeyError(
+                f"unknown benchmark {name!r}; available: "
+                + ", ".join(available_benchmarks())
+            )
+    return benches

@@ -15,8 +15,19 @@ class Component:
 
     Subclasses override :meth:`tick` to do one cycle of work and
     :meth:`busy` to report whether they still hold in-flight state.  The
-    kernel uses ``busy`` for idle-skip: when every component of a domain is
-    idle, whole stretches of cycles can be skipped without simulating them.
+    kernel uses ``busy`` two ways:
+
+    * **idle-skip** — when every component of a domain is idle, whole
+      stretches of cycles are skipped without simulating them;
+    * **parking** — a component whose ``busy()`` goes False after a tick
+      is removed from the tick list entirely (the busy-set) and not
+      ticked again until woken, either explicitly via
+      ``Simulator.wake`` or implicitly when the kernel skips to a
+      scheduled wakeup.  On wake its ``cycle`` counter is
+      fast-forwarded to the domain's, so cycle-relative logic stays
+      aligned.  A producer that fills a parked peer's queue must wake
+      it (or the peer must stay ``busy`` while anything can arrive) —
+      the default always-busy ``busy()`` opts out of both mechanisms.
     """
 
     def __init__(self, name: str) -> None:

@@ -2,8 +2,37 @@
 
 FtEngine runs most logic at 250 MHz while the network-facing modules (ARP,
 ICMP, packet generator, RX parser) run at 322 MHz (the Ethernet IP clock).
-The kernel keeps global time in **picoseconds** and advances whichever
-domain has the earliest next edge, so mixed-frequency models stay in step.
+The kernel keeps global time in **exact integer picoseconds** and advances
+whichever domain has the earliest next edge, so mixed-frequency models
+stay in step.
+
+Time contract (the part every exhibit and sweep sits on):
+
+* Edge ``k`` of a domain lands at ``round(k * PS_PER_SECOND / freq_hz)``,
+  computed with integer arithmetic from the *absolute* cycle index.  The
+  per-edge rounding error is at most half a picosecond and never
+  accumulates — there is no float period being summed, so the 250 MHz
+  and 322 MHz domains cannot drift apart over long runs (the same
+  contract simlint rule F4T006/F4T007 enforces on the rest of the tree).
+* ``Simulator.time_ps`` is an ``int``.  It only ever takes edge values
+  (or a scheduled wakeup landing, which the very next ``step()`` crosses
+  on the first edge at or after it — a wakeup scheduled exactly *on* an
+  edge fires on that edge, not one cycle later).
+* Simultaneous cross-domain edges tie-break by **domain registration
+  order**, deterministically.  250 MHz and 322 MHz edges really do
+  coincide (every 500 ns), so this is load-bearing for replayability.
+
+Scheduling structures:
+
+* Wakeups live in a lazily-pruned min-heap: stale entries are dropped on
+  every insert and every pop, so a busy run that schedules each arrival
+  keeps the heap bounded by the number of still-future wakeups instead
+  of growing with every call.
+* Each domain keeps a busy-set: a component whose ``busy()`` goes False
+  after a tick is parked and not ticked again until it is woken —
+  explicitly via :meth:`Simulator.wake`, or implicitly when the kernel
+  skips to a scheduled wakeup.  Components using the conservative
+  default ``busy() -> True`` are never parked.
 
 Two usage styles are supported:
 
@@ -17,7 +46,10 @@ Two usage styles are supported:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import heapq
+import math
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Set, Union
 
 from .component import Component
 
@@ -31,26 +63,111 @@ class ClockDomain:
         if freq_hz <= 0:
             raise ValueError(f"clock frequency must be positive, got {freq_hz}")
         self.name = name
-        self.freq_hz = freq_hz
-        self.period_ps = PS_PER_SECOND / freq_hz
+        self.freq_hz = float(freq_hz)
+        # Exact rational period: edge_ps(k) = round(k * _num / _den).
+        ratio = Fraction(freq_hz)
+        self._num = PS_PER_SECOND * ratio.denominator
+        self._den = ratio.numerator
+        self._half = self._den // 2
         self.cycle = 0
         self.components: List[Component] = []
+        #: Components parked off the tick list because ``busy()`` went
+        #: False; woken by :meth:`wake` or a wakeup skip.
+        self._parked: Set[Component] = set()
+        #: Tick-list cache excluding parked components, in registration
+        #: order; only consulted while something is parked.
+        self._active: List[Component] = []
 
     @property
-    def next_edge_ps(self) -> float:
-        return (self.cycle + 1) * self.period_ps
+    def period_ps(self) -> float:
+        """Nominal period as a float — for display and analytic models
+        only; edge times come from :meth:`edge_ps` and never accumulate
+        this value."""
+        return self._num / self._den
+
+    def edge_ps(self, cycle: int) -> int:
+        """Exact integer-picosecond time of this domain's ``cycle``-th edge."""
+        return (cycle * self._num + self._half) // self._den
+
+    @property
+    def next_edge_ps(self) -> int:
+        return self.edge_ps(self.cycle + 1)
+
+    def last_cycle_before(self, t_ps: int) -> int:
+        """Largest cycle index whose edge lands strictly before ``t_ps``.
+
+        Landing here means the very next tick crosses the first edge at
+        or after ``t_ps`` — the no-late-wakeup guarantee.
+        """
+        k = (t_ps * self._den) // self._num
+        while self.edge_ps(k) >= t_ps:
+            k -= 1
+        while self.edge_ps(k + 1) < t_ps:
+            k += 1
+        return k
+
+    # ------------------------------------------------------------ busy-set
+    def _rebuild_active(self) -> None:
+        parked = self._parked
+        self._active = [c for c in self.components if c not in parked]
+
+    def add(self, component: Component) -> None:
+        self.components.append(component)
+        if self._parked:
+            # Registration order is preserved: the newcomer is last.
+            self._active.append(component)
+
+    def wake(self, component: Optional[Component] = None) -> None:
+        """Return parked component(s) to the tick list.
+
+        Woken components rejoin at the domain's current cycle (their own
+        ``cycle`` counter is fast-forwarded), so cycle-relative logic
+        stays aligned after a park.
+        """
+        if not self._parked:
+            return
+        if component is None:
+            woken = list(self._parked)
+        elif component in self._parked:
+            woken = [component]
+        else:
+            return
+        for c in woken:
+            self._parked.discard(c)
+            c.cycle = self.cycle
+        self._rebuild_active()
 
     def tick(self) -> None:
-        """Advance this domain by one cycle, ticking components in order."""
+        """Advance one cycle, ticking unparked components in order.
+
+        A component whose ``busy()`` reports False after its tick is
+        parked: it is not ticked again until woken.  Components keeping
+        the conservative ``Component.busy`` default (always True) are
+        never parked.
+        """
         self.cycle += 1
-        for component in self.components:
+        run = self._active if self._parked else self.components
+        for component in run:
             component.tick()
+        parked = False
+        for component in run:
+            if not component.busy():
+                self._parked.add(component)
+                parked = True
+        if parked:
+            self._rebuild_active()
 
     def busy(self) -> bool:
-        return any(component.busy() for component in self.components)
+        run = self._active if self._parked else self.components
+        for component in run:
+            if component.busy():
+                return True
+        return False
 
     def reset(self) -> None:
         self.cycle = 0
+        self._parked.clear()
+        self._active = []
         for component in self.components:
             component.reset()
 
@@ -60,66 +177,118 @@ class ClockDomain:
 
 
 class Simulator:
-    """Multi-domain cycle simulator keeping global picosecond time."""
+    """Multi-domain cycle simulator keeping exact integer-picosecond time."""
 
     def __init__(self) -> None:
         self.domains: Dict[str, ClockDomain] = {}
-        self.time_ps = 0.0
-        self._wakeups: List[float] = []
+        #: Registration order — the deterministic tie-break for
+        #: simultaneous cross-domain edges.
+        self._domain_list: List[ClockDomain] = []
+        self.time_ps: int = 0
+        #: Lazily-pruned min-heap of future wakeup times (integer ps).
+        self._wakeups: List[int] = []
 
     def add_domain(self, name: str, freq_hz: float) -> ClockDomain:
         if name in self.domains:
             raise ValueError(f"duplicate clock domain {name!r}")
         domain = ClockDomain(name, freq_hz)
         self.domains[name] = domain
+        self._domain_list.append(domain)
         return domain
 
     def add_component(self, component: Component, domain: str) -> None:
-        self.domains[domain].components.append(component)
+        self.domains[domain].add(component)
 
-    def schedule_wakeup(self, time_ps: float) -> None:
-        """Register a future time the simulation must not idle-skip past."""
-        self._wakeups.append(time_ps)
+    def wake(
+        self,
+        component: Optional[Component] = None,
+        domain: Optional[str] = None,
+    ) -> None:
+        """Re-arm parked components (all, one domain's, or a single one)."""
+        if domain is not None:
+            self.domains[domain].wake(component)
+            return
+        for d in self._domain_list:
+            d.wake(component)
+
+    def schedule_wakeup(self, time_ps: Union[int, float]) -> None:
+        """Register a future time the simulation must not idle-skip past.
+
+        Float times are rounded *up* to the next integer picosecond so a
+        wakeup never lands early.  Inserting also drops entries the
+        clock has already passed, which keeps the heap bounded on busy
+        runs that schedule every arrival (the old list was only pruned
+        while idle-skipping, so it grew without bound under load).
+        """
+        t = time_ps if isinstance(time_ps, int) else math.ceil(time_ps)
+        heap = self._wakeups
+        now = self.time_ps
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        if t > now:
+            heapq.heappush(heap, t)
 
     @property
     def time_seconds(self) -> float:
         return self.time_ps / PS_PER_SECOND
 
     def _earliest_domain(self) -> ClockDomain:
-        return min(self.domains.values(), key=lambda d: d.next_edge_ps)
+        """The domain holding the next edge; ties go to the first registered."""
+        domains = self._domain_list
+        best = domains[0]
+        best_edge = best.edge_ps(best.cycle + 1)
+        for i in range(1, len(domains)):
+            d = domains[i]
+            e = d.edge_ps(d.cycle + 1)
+            if e < best_edge:
+                best, best_edge = d, e
+        return best
 
     def step(self) -> None:
-        """Advance global time to the earliest next clock edge and tick it."""
-        if not self.domains:
+        """Advance global time to the earliest next clock edge and tick it.
+
+        Simultaneous edges tie-break by domain registration order.
+        """
+        domains = self._domain_list
+        if not domains:
             raise RuntimeError("no clock domains registered")
-        domain = self._earliest_domain()
-        self.time_ps = domain.next_edge_ps
-        domain.tick()
+        best = domains[0]
+        best_edge = best.edge_ps(best.cycle + 1)
+        for i in range(1, len(domains)):
+            d = domains[i]
+            e = d.edge_ps(d.cycle + 1)
+            if e < best_edge:
+                best, best_edge = d, e
+        self.time_ps = best_edge
+        best.tick()
 
     def run_cycles(self, n: int, domain: Optional[str] = None) -> None:
         """Run exactly ``n`` cycles of ``domain`` (ticking others in step).
 
         With a single domain this is a tight loop; with several, other
-        domains are ticked whenever their edges fall earlier.
+        domains are ticked whenever their edges fall earlier.  Either
+        way the finishing time is the exact integer edge time — the same
+        value ``n`` individual ``step()`` calls land on.
         """
         if domain is None:
             if len(self.domains) != 1:
                 raise ValueError("domain must be named when several exist")
             domain = next(iter(self.domains))
-        target = self.domains[domain].cycle + n
+        d = self.domains[domain]
+        target = d.cycle + n
         if len(self.domains) == 1:
-            d = self.domains[domain]
+            tick = d.tick
             for _ in range(n):
-                d.tick()
-            self.time_ps = d.cycle * d.period_ps
+                tick()
+            self.time_ps = d.edge_ps(d.cycle)
             return
-        while self.domains[domain].cycle < target:
+        while d.cycle < target:
             self.step()
 
     def run_until(
         self,
         predicate: Callable[[], bool],
-        max_time_ps: Optional[float] = None,
+        max_time_ps: Optional[Union[int, float]] = None,
         max_steps: int = 100_000_000,
     ) -> bool:
         """Run until ``predicate()`` is true.
@@ -130,34 +299,55 @@ class Simulator:
         the next scheduled wakeup instead of simulating empty cycles.
         """
         steps = 0
+        domains = self._domain_list
         while not predicate():
             if max_time_ps is not None and self.time_ps >= max_time_ps:
                 return False
             if steps >= max_steps:
                 return False
-            if not any(d.busy() for d in self.domains.values()):
+            busy = False
+            for d in domains:
+                if d.busy():
+                    busy = True
+                    break
+            if not busy:
                 if not self._skip_to_next_wakeup(max_time_ps):
                     return False
             self.step()
             steps += 1
         return True
 
-    def _skip_to_next_wakeup(self, max_time_ps: Optional[float]) -> bool:
-        self._wakeups = [t for t in self._wakeups if t > self.time_ps]
-        if not self._wakeups:
+    def _skip_to_next_wakeup(
+        self, max_time_ps: Optional[Union[int, float]]
+    ) -> bool:
+        heap = self._wakeups
+        now = self.time_ps
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        if not heap:
             return False
-        target = min(self._wakeups)
+        target = heap[0]
         if max_time_ps is not None:
-            target = min(target, max_time_ps)
-        # Land every domain on its last edge before the target so the next
-        # step() crosses the wakeup boundary.
-        for domain in self.domains.values():
-            domain.cycle = max(domain.cycle, int(target / domain.period_ps))
-        self.time_ps = max(self.time_ps, target)
+            bound = math.ceil(max_time_ps)
+            if bound < target:
+                target = bound
+        if target <= now:
+            return True
+        # Land every domain on its last edge strictly before the target,
+        # so the next step() ticks the first edge at or after it: a
+        # wakeup scheduled exactly on an edge fires ON that edge.
+        for domain in self._domain_list:
+            k = domain.last_cycle_before(target)
+            if k > domain.cycle:
+                domain.cycle = k
+            # Whatever was parked may receive work at the wakeup.
+            domain.wake()
+        if target > self.time_ps:
+            self.time_ps = target
         return True
 
     def reset(self) -> None:
-        self.time_ps = 0.0
+        self.time_ps = 0
         self._wakeups.clear()
-        for domain in self.domains.values():
+        for domain in self._domain_list:
             domain.reset()

@@ -183,7 +183,7 @@ class _Conn:
     __slots__ = (
         "cls", "a_flow", "b_flow", "state", "current", "send_remaining",
         "resp_remaining", "arrival_s", "connect_s", "srv_expect",
-        "srv_send_remaining", "rounds_left",
+        "srv_send_remaining", "rounds_left", "dirty",
     )
 
     def __init__(self, cls: TrafficClass, rounds_left: int = 0) -> None:
@@ -200,6 +200,28 @@ class _Conn:
         self.srv_expect: Deque[list] = deque()
         self.srv_send_remaining = 0
         self.rounds_left = rounds_left
+        #: Pump fast path: a clean conn is fully blocked on the engines
+        #: and is not advanced until an EngineMessage (or a new arrival)
+        #: re-marks it.  Polling a blocked conn is side-effect-free, so
+        #: skipping it is cycle-exact (see _drain_host_messages).
+        self.dirty = True
+
+
+def _conn_snapshot(conn: "_Conn") -> tuple:
+    """Everything _advance_conn can change without changing conn.state.
+
+    An advance that leaves the snapshot identical made no progress — the
+    conn is blocked on the engines and safe to park until a message.
+    """
+    return (
+        conn.state,
+        conn.send_remaining,
+        conn.resp_remaining,
+        conn.srv_send_remaining,
+        len(conn.srv_expect),
+        conn.srv_expect[0][1] if conn.srv_expect else -1,
+        conn.current,
+    )
 
 
 class _ClassState:
@@ -253,6 +275,16 @@ class LoadEngine:
         self._start_s = 0.0
         #: client ephemeral port -> conn awaiting its server-side accept.
         self._awaiting_accept: Dict[int, _Conn] = {}
+        #: flow id -> conn, per side, so EngineMessages mark the right
+        #: conn dirty without scanning every class.
+        self._conn_of_a: Dict[int, _Conn] = {}
+        self._conn_of_b: Dict[int, _Conn] = {}
+        #: (side, thread_id) -> scan position in that host-message queue.
+        self._msg_cursors: Dict[tuple, int] = {}
+        #: Verification switch: advance every conn every pump (the
+        #: pre-dirty-set behaviour).  Both modes are cycle-identical —
+        #: tests assert equal trace fingerprints — but sweeping is slow.
+        self.sweep_all_pumps = False
 
         #: Observability (repro.obs): a TraceBus, or None (free default).
         #: When attached, the pump also emits periodic occupancy samples.
@@ -324,6 +356,7 @@ class LoadEngine:
         )
         client_port = tb.engine_a.flows[conn.a_flow].key.src_port
         self._awaiting_accept[client_port] = conn
+        self._conn_of_a[conn.a_flow] = conn
         self.states[cls.name].metrics.connections_opened += 1
         if self.trace is not None:
             self.trace.emit(
@@ -360,10 +393,63 @@ class LoadEngine:
             sample_occupancy(self.trace, tb, tb.now_s * 1e12)
             self._next_trace_sample_cycle = tb.cycle + self.trace_sample_cycles
         self._poll_accepts()
+        self._drain_host_messages()
+        if self.sweep_all_pumps:
+            self._mark_all_dirty()
         self._release_arrivals()
         for state in self.states.values():
             self._advance_class(state)
         return self._all_done()
+
+    def _drain_host_messages(self) -> None:
+        """Mark conns with engine activity dirty (the pump fast path).
+
+        Every state change a blocked conn can be waiting on is announced
+        by an :class:`EngineMessage` on the owning engine in the same
+        cycle the pollable state changes: 'acked' frees send-buffer room
+        (``stream.release`` runs right before it is posted), 'data'
+        makes bytes readable, 'connected'/'accepted' finish the
+        handshake, and 'eof'/'closed'/'reset' move teardown.  Advancing
+        only message-marked conns is therefore cycle-identical to
+        polling every conn every cycle.
+
+        The queues are scanned with per-queue cursors rather than
+        popped: the host-queue occupancy samples
+        (``obs.hooks.sample_occupancy``) are part of the trace-stream
+        contract, and a host runtime sharing the engine remains free to
+        drain its own messages (a shrunk queue just resets the cursor).
+        """
+        unknown = False
+        cursors = self._msg_cursors
+        for side, (engine, conn_map) in enumerate((
+            (self.testbed.engine_a, self._conn_of_a),
+            (self.testbed.engine_b, self._conn_of_b),
+        )):
+            for thread_id, queue in engine.host_messages.items():
+                key = (side, thread_id)
+                start = cursors.get(key, 0)
+                size = len(queue)
+                if start > size:
+                    start = 0  # someone drained the queue; rescan
+                for i in range(start, size):
+                    message = queue[i]
+                    conn = conn_map.get(message.flow_id)
+                    if conn is not None:
+                        conn.dirty = True
+                    elif message.kind != "accepted":
+                        # A flow we can't map (shouldn't happen: accepts
+                        # are mapped by _poll_accepts before this runs).
+                        # Fall back to one exhaustive sweep — polling is
+                        # idempotent, so correctness is preserved.
+                        unknown = True
+                cursors[key] = size
+        if unknown:
+            self._mark_all_dirty()
+
+    def _mark_all_dirty(self) -> None:
+        for state in self.states.values():
+            for conn in state.conns:
+                conn.dirty = True
 
     def _poll_accepts(self) -> None:
         engine_b = self.testbed.engine_b
@@ -377,6 +463,8 @@ class LoadEngine:
             conn = self._awaiting_accept.pop(record.key.dst_port, None)
             if conn is not None:
                 conn.b_flow = b_flow
+                self._conn_of_b[b_flow] = conn
+                conn.dirty = True
 
     def _release_arrivals(self) -> None:
         now = self.testbed.now_s
@@ -386,7 +474,12 @@ class LoadEngine:
                 return
             self._release_index += 1
             self._outstanding += 1
-            self.states[request.cls].pending.append(request)
+            state = self.states[request.cls]
+            state.pending.append(request)
+            if state.cls.lifecycle != PER_REQUEST:
+                # A pooled conn may be idle-clean waiting for work.
+                for conn in state.conns:
+                    conn.dirty = True
             if self.trace is not None:
                 self.trace.emit(
                     now * 1e12, "traffic", "load", "arrival", -1,
@@ -413,10 +506,30 @@ class LoadEngine:
                     else self.testbed.now_s
                 )
                 state.conns.append(conn)
-        for conn in list(state.conns):
+        conns = state.conns
+        if not conns:
+            return
+        for conn in conns:
+            if conn.dirty:
+                break
+        else:
+            return  # whole class blocked on the engines; nothing to do
+        for conn in list(conns):
+            if not conn.dirty:
+                continue
+            before = _conn_snapshot(conn)
             self._advance_conn(state, conn)
             if conn.state == _DONE:
-                state.conns.remove(conn)
+                conns.remove(conn)
+                if conn.a_flow is not None:
+                    self._conn_of_a.pop(conn.a_flow, None)
+                if conn.b_flow is not None:
+                    self._conn_of_b.pop(conn.b_flow, None)
+                continue
+            if _conn_snapshot(conn) == before:
+                # No forward progress: the conn is blocked on the engines
+                # and an EngineMessage will re-mark it when that changes.
+                conn.dirty = False
 
     def _churn_work(self, state: _ClassState) -> bool:
         if state.cls.open_loop:

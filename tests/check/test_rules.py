@@ -140,6 +140,34 @@ class TestFloatPsAccumulation:
         assert lint_in_layer(good, layer="sim") == []
 
 
+class TestFloatPsState:
+    def test_float_literal_into_ps_attribute_flagged(self):
+        bad = "def f(self):\n    self.time_ps = 0.0\n"
+        assert ids(lint_in_layer(bad, layer="sim")) == ["F4T007"]
+
+    def test_float_factor_in_expression_flagged(self):
+        bad = "def f(self, ns):\n    self.latency_ps = ns * 1000.0\n"
+        assert ids(lint_in_layer(bad, layer="engine")) == ["F4T007"]
+
+    def test_int_literal_ok(self):
+        good = "def f(self):\n    self.time_ps = 0\n"
+        assert lint_in_layer(good, layer="sim") == []
+
+    def test_local_ps_variable_ok(self):
+        # Locals may hold float bounds (e.g. max_time_ps = s * 1e12);
+        # only persistent instance state carries the integer contract.
+        good = "def f(self, s):\n    max_time_ps = s * 1e12\n    return max_time_ps\n"
+        assert lint_in_layer(good, layer="engine") == []
+
+    def test_outside_clocked_layers_ok(self):
+        good = "def f(self):\n    self.time_ps = 0.0\n"
+        assert lint_source(good, path="src/repro/host/runtime.py") == []
+
+    def test_calibrated_memory_model_exempt(self):
+        impl = "def f(self):\n    self.busy_until_ps = 0.0\n"
+        assert lint_source(impl, path="src/repro/sim/memory.py") == []
+
+
 class TestNoqa:
     def test_noqa_suppresses_matching_rule(self):
         src = "import time\n\nnow = time.time()  # f4t: noqa[F4T002]\n"

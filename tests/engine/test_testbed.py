@@ -98,3 +98,67 @@ class TestCustomLink:
         )
         assert len(testbed.engine_a.fpcs) == 1
         assert len(testbed.engine_b.fpcs) == 2
+
+
+class TestIdleSkipNeverOvershoots:
+    """PR 5 / satellite 4: idle-skip must never jump past scheduled work."""
+
+    def test_external_wakeup_lands_within_one_cycle(self):
+        """With ``wakeup_ps`` announcing an arrival, the skip lands on
+        the first cycle at or after it — never beyond."""
+        testbed = Testbed()
+        arrival_ps = 1_000_000_007  # ~1 ms, deliberately unaligned
+        observed = []
+
+        def until():
+            if testbed.time_ps >= arrival_ps and not observed:
+                observed.append(testbed.time_ps)
+            return bool(observed)
+
+        assert testbed.run(
+            until=until,
+            max_time_s=0.01,
+            wakeup_ps=lambda: arrival_ps,
+        )
+        # The skip lands at most one cycle past the arrival (ceil), and
+        # the predicate runs after one more step: 2 cycles worst case.
+        assert 0 <= observed[0] - arrival_ps <= 2 * ENGINE_PERIOD_PS
+
+    def test_aligned_external_wakeup_observed_exactly(self):
+        testbed = Testbed()
+        arrival_ps = 2_000_000  # exactly cycle 500
+        seen = []
+
+        def until():
+            if testbed.time_ps >= arrival_ps and not seen:
+                seen.append(testbed.cycle)
+            return bool(seen)
+
+        assert testbed.run(
+            until=until, max_time_s=0.01, wakeup_ps=lambda: arrival_ps
+        )
+        assert seen[0] <= arrival_ps // ENGINE_PERIOD_PS + 1
+
+    def test_idle_chunk_doubling_cannot_skip_an_arrival(self):
+        """The blind idle_chunk fast-forward only runs when no wakeup is
+        announced; once one is, the jump is capped at the arrival."""
+        testbed = Testbed()
+        checks = []
+
+        def wakeup():
+            # Announce an arrival two chunks ahead of wherever we are.
+            target = testbed.time_ps + 512 * ENGINE_PERIOD_PS
+            checks.append(target)
+            return target
+
+        crossed = []
+
+        def until():
+            if checks and testbed.time_ps > checks[-1]:
+                # We may land past the *announced* time by at most the
+                # distance to the next probe (8 steps).
+                crossed.append(testbed.time_ps - checks[-1])
+            return testbed.cycle >= 100_000
+
+        assert testbed.run(until=until, max_time_s=1.0, wakeup_ps=wakeup)
+        assert all(delta <= 9 * ENGINE_PERIOD_PS for delta in crossed)

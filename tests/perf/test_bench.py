@@ -1,0 +1,187 @@
+"""repro.perf: the harness discipline, payload schema and compare gate."""
+
+import pytest
+
+from repro.perf.bench import (
+    Benchmark,
+    compare_payloads,
+    load_payload,
+    results_to_payload,
+    run_benchmarks,
+    write_payload,
+)
+from repro.perf.suite import available_benchmarks, build_benchmarks
+
+
+class FakeBenchmark(Benchmark):
+    """Records call order; burns a scripted amount of fake time."""
+
+    events_unit = "ops"
+
+    def __init__(self, name, log, durations):
+        self.name = name
+        self.log = log
+        self.durations = list(durations)
+        self.setups = 0
+
+    def setup(self):
+        self.setups += 1
+        self.log.append(f"setup:{self.name}")
+
+    def run(self):
+        self.log.append(f"run:{self.name}")
+        return 100, 0.5
+
+
+class FakeClock:
+    """Deterministic timer: each benchmark run consumes its scripted
+    duration; everything else is instantaneous."""
+
+    def __init__(self, benches):
+        self.now = 0.0
+        self.benches = benches
+        self.pending = 0.0
+
+    def __call__(self):
+        # run_benchmarks calls timer() twice per round: before and after
+        # run().  Pop the duration when the round starts.
+        value = self.now
+        self.now += self.pending
+        self.pending = 0.0
+        return value
+
+
+class TestHarness:
+    def test_rounds_are_interleaved(self):
+        log = []
+        benches = [
+            FakeBenchmark("a", log, [1, 1]),
+            FakeBenchmark("b", log, [1, 1]),
+        ]
+        run_benchmarks(benches, repeats=2, with_fingerprints=False)
+        runs = [entry for entry in log if entry.startswith("run:")]
+        assert runs == ["run:a", "run:b", "run:a", "run:b"]
+
+    def test_setup_runs_every_round(self):
+        log = []
+        bench = FakeBenchmark("a", log, [1, 1, 1])
+        run_benchmarks([bench], repeats=3, with_fingerprints=False)
+        assert bench.setups == 3
+
+    def test_min_of_n_and_derived_rates(self):
+        log = []
+        bench = FakeBenchmark("a", log, [])
+        durations = iter([0.4, 0.2, 0.3])
+
+        class Clock:
+            def __init__(self):
+                self.now = 0.0
+                self.phase = 0
+
+            def __call__(self):
+                if self.phase % 2 == 1:  # closing a timed region
+                    self.now += next(durations)
+                self.phase += 1
+                return self.now
+
+        (result,) = run_benchmarks(
+            [bench], repeats=3, timer=Clock(), with_fingerprints=False
+        )
+        assert result.wall_s == pytest.approx(0.2)
+        assert result.all_wall_s == pytest.approx([0.4, 0.2, 0.3])
+        assert result.events_per_s == pytest.approx(100 / 0.2)
+        assert result.sim_ratio == pytest.approx(0.5 / 0.2)
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_benchmarks([], repeats=0)
+
+
+class TestPayload:
+    def _payload(self):
+        log = []
+        results = run_benchmarks(
+            [FakeBenchmark("a", log, [1])], repeats=1,
+            with_fingerprints=False,
+        )
+        return results_to_payload(results, quick=True)
+
+    def test_schema_fields(self):
+        payload = self._payload()
+        assert payload["schema"] == "repro.perf/1"
+        assert payload["git_sha"]
+        assert payload["quick"] is True
+        (row,) = payload["benchmarks"]
+        assert row["name"] == "a"
+        assert row["events"] == 100
+        assert {"wall_s", "events_per_s", "sim_time_s", "sim_ratio",
+                "rounds", "fingerprint"} <= set(row)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        write_payload(self._payload(), str(path))
+        assert load_payload(str(path))["schema"] == "repro.perf/1"
+
+    def test_load_rejects_non_bench_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_payload(str(path))
+
+
+def _payload_with(name="a", wall_s=1.0, fingerprint=None):
+    return {
+        "schema": "repro.perf/1",
+        "benchmarks": [
+            {"name": name, "wall_s": wall_s, "fingerprint": fingerprint}
+        ],
+    }
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        old = _payload_with(wall_s=1.0)
+        new = _payload_with(wall_s=1.2)
+        assert compare_payloads(old, new, threshold=0.25) == []
+
+    def test_slowdown_past_threshold_flagged(self):
+        old = _payload_with(wall_s=1.0)
+        new = _payload_with(wall_s=1.3)
+        (reg,) = compare_payloads(old, new, threshold=0.25)
+        assert reg.name == "a"
+        assert reg.ratio == pytest.approx(1.3)
+        assert not reg.fingerprint_changed
+
+    def test_changed_fingerprint_is_a_regression_even_when_faster(self):
+        old = _payload_with(wall_s=1.0, fingerprint="aaa")
+        new = _payload_with(wall_s=0.5, fingerprint="bbb")
+        (reg,) = compare_payloads(old, new)
+        assert reg.fingerprint_changed
+
+    def test_new_benchmark_without_baseline_ignored(self):
+        old = _payload_with(name="a")
+        new = _payload_with(name="b")
+        assert compare_payloads(old, new) == []
+
+
+class TestSuite:
+    def test_available_names(self):
+        names = available_benchmarks()
+        assert {"kernel.step", "fpc.event", "scheduler.migrate",
+                "traffic.mixed", "traffic.churn"} == set(names)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_benchmarks(["kernel.warp"])
+
+    def test_micro_benchmarks_run_quick(self):
+        benches = build_benchmarks(
+            ["kernel.step", "fpc.event", "scheduler.migrate"], quick=True
+        )
+        results = run_benchmarks(benches, repeats=1, with_fingerprints=False)
+        for result in results:
+            assert result.events > 0, result.name
+            assert result.wall_s > 0, result.name
+        by_name = {r.name: r for r in results}
+        # The migrate bench must actually migrate, not just route.
+        assert by_name["scheduler.migrate"].events > 100

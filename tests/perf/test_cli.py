@@ -1,0 +1,83 @@
+"""``python -m repro perf`` plumbing: run/list/compare exit codes."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+
+
+def test_perf_list(capsys):
+    assert repro_main(["perf", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel.step" in out
+    assert "traffic.mixed" in out
+
+
+def test_perf_without_subcommand_usage(capsys):
+    assert repro_main(["perf"]) == 2
+
+
+def test_perf_run_writes_bench_json(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_perf.json"
+    code = repro_main([
+        "perf", "run", "--quick", "--only", "kernel.step",
+        "--repeats", "1", "--out", str(out_path),
+    ])
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["schema"] == "repro.perf/1"
+    (row,) = payload["benchmarks"]
+    assert row["name"] == "kernel.step"
+    assert row["events_per_s"] > 0
+    assert "kernel.step" in capsys.readouterr().out
+
+
+def test_perf_run_unknown_benchmark_errors(tmp_path):
+    with pytest.raises(SystemExit):
+        repro_main([
+            "perf", "run", "--only", "kernel.warp",
+            "--out", str(tmp_path / "x.json"),
+        ])
+
+
+def _write(path, wall_s, fingerprint=None):
+    path.write_text(json.dumps({
+        "schema": "repro.perf/1",
+        "benchmarks": [
+            {"name": "kernel.step", "wall_s": wall_s,
+             "fingerprint": fingerprint}
+        ],
+    }))
+
+
+def test_perf_compare_ok(tmp_path, capsys):
+    old, new = tmp_path / "old.json", tmp_path / "new.json"
+    _write(old, 1.0)
+    _write(new, 1.1)
+    assert repro_main(["perf", "compare", str(old), str(new)]) == 0
+    assert "ok:" in capsys.readouterr().out
+
+
+def test_perf_compare_regression_exits_1(tmp_path, capsys):
+    old, new = tmp_path / "old.json", tmp_path / "new.json"
+    _write(old, 1.0)
+    _write(new, 2.0)
+    assert repro_main(["perf", "compare", str(old), str(new)]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_perf_compare_fingerprint_change_exits_1(tmp_path, capsys):
+    old, new = tmp_path / "old.json", tmp_path / "new.json"
+    _write(old, 1.0, fingerprint="aaa")
+    _write(new, 0.9, fingerprint="bbb")
+    assert repro_main(["perf", "compare", str(old), str(new)]) == 1
+    assert "fingerprint" in capsys.readouterr().err
+
+
+def test_perf_compare_missing_file_errors(tmp_path):
+    with pytest.raises(SystemExit):
+        repro_main([
+            "perf", "compare", str(tmp_path / "no.json"),
+            str(tmp_path / "nope.json"),
+        ])
