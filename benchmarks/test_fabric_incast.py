@@ -1,0 +1,47 @@
+"""Benchmark: incast through the shared-buffer switch, per backend.
+
+The ``fabric-backends`` grid head-to-head: every offload backend runs
+the same seeded 4-host incast (quick points of the grid the ``lab``
+CLI executes at 8 hosts), so this bench prints one line of the PR's
+comparison table per backend and pins the physics that must hold —
+deeper offload means higher goodput and lower tail latency, and the
+deterministic switch never loses accounting.
+"""
+
+from repro.lab.grids import get_grid
+
+
+def _sweep():
+    grid = get_grid("fabric-backends", quick=True)
+    return [
+        (point.params["backend"], grid.call(point).scalars)
+        for point in grid.expand()
+    ]
+
+
+def test_fabric_incast_backend_comparison(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    for backend, scalars in rows:
+        print(
+            f"{backend:12s} -> {scalars['goodput_gbps']:6.2f} Gbps, "
+            f"p99 {scalars['p99_us']:7.1f} us, "
+            f"{scalars['retransmits']:3.0f} rtx, "
+            f"{scalars['switch_drops']:3.0f} drops, "
+            f"{scalars['ecn_marks']:4.0f} ECN"
+        )
+    by_backend = {backend: scalars for backend, scalars in rows}
+    # Every backend drains the whole scenario.
+    for backend, scalars in rows:
+        assert scalars["finished"] == 1, backend
+        assert scalars["completed"] == scalars["offered"], backend
+    # Offload depth orders goodput: the F4T engine ahead of the
+    # pipeline-parallel and off-path SmartNICs, all ahead of Linux.
+    assert (
+        by_backend["f4t"]["goodput_gbps"]
+        > by_backend["pno"]["goodput_gbps"]
+        > by_backend["linux_stack"]["goodput_gbps"]
+    )
+    assert by_backend["flextoe"]["goodput_gbps"] > by_backend["linux_stack"]["goodput_gbps"]
+    # ...and tail latency the other way around.
+    assert by_backend["f4t"]["p99_us"] < by_backend["linux_stack"]["p99_us"]

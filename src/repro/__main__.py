@@ -10,6 +10,7 @@ Subcommands::
     python -m repro obs summary ...   # inspect exported traces
     python -m repro check all         # static analyzer + race sanitizer
     python -m repro perf run          # benchmark suite -> BENCH_perf.json
+    python -m repro fabric sweep ...  # backend head-to-head over a fabric
 """
 
 from __future__ import annotations
@@ -441,12 +442,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_traffic_parser(subparsers)
     _add_lab_parser(subparsers)
     from repro.check.cli import add_check_parser, main as check_main
+    from repro.fabric.cli import add_fabric_parser, main as fabric_main
     from repro.obs.cli import add_obs_parser, main as obs_main
     from repro.perf.cli import add_perf_parser, main as perf_main
 
     add_obs_parser(subparsers)
     add_check_parser(subparsers)
     add_perf_parser(subparsers)
+    add_fabric_parser(subparsers)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -459,6 +462,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "obs": obs_main,
         "check": check_main,
         "perf": perf_main,
+        "fabric": fabric_main,
     }
     if args.command is None:
         parser.print_help()

@@ -63,6 +63,7 @@ def run_connection_churn(
     concurrency: int = 4,
     testbed: Optional[Testbed] = None,
     max_time_s: float = 30.0,
+    backend: str = "f4t",
 ) -> ChurnResult:
     """Run ``connections`` short transactions, ``concurrency`` at a time.
 
@@ -78,6 +79,7 @@ def run_connection_churn(
         testbed=testbed,
         run_time_s=max_time_s,
         raise_on_incomplete=True,
+        backend=backend,
     )
     metrics = result.classes["churn"]
     return ChurnResult(metrics.completed, result.elapsed_s, metrics.lifecycle)

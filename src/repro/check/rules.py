@@ -31,7 +31,9 @@ from .findings import Finding
 
 #: Layers (packages directly under ``repro``) that run inside the
 #: simulated clock domain and must be deterministic given the seed.
-SIM_LAYERS = frozenset({"sim", "engine", "tcp", "net", "traffic", "refsim"})
+SIM_LAYERS = frozenset(
+    {"sim", "engine", "tcp", "net", "traffic", "refsim", "fabric"}
+)
 
 #: ``random`` module functions that draw from the shared global RNG.
 GLOBAL_RNG_FUNCS = frozenset({
@@ -460,7 +462,7 @@ class FloatPsStateRule(LintRule):
         "keep physical/calibrated float constants in the exempted modules"
     )
     #: Only the clocked layers carry kernel time; hosts/analysis are free.
-    layers = frozenset({"sim", "engine"})
+    layers = frozenset({"sim", "engine", "fabric"})
     #: Calibrated physical-latency models legitimately hold fractional
     #: picoseconds (e.g. DRAM occupancy = bytes / bandwidth).
     exempt_suffixes = (

@@ -1,0 +1,147 @@
+"""``python -m repro fabric`` — backends and fabric scenarios.
+
+Subcommands::
+
+    python -m repro fabric list               # scenarios + backends
+    python -m repro fabric run incast ...     # one scenario, one backend
+    python -m repro fabric sweep ...          # head-to-head comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from .backend import available_backends, get_backend
+    from .scenarios import available_fabric_scenarios, get_fabric_scenario
+
+    print("backends:")
+    for name in available_backends():
+        spec = get_backend(name)
+        print(f"  {name} [{spec.kind}, {spec.provenance}] — {spec.title}")
+    print()
+    print("fabric scenarios:")
+    for name in available_fabric_scenarios():
+        print(f"  {get_fabric_scenario(name).describe()}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .engine import run_fabric
+    from .scenarios import get_fabric_scenario
+
+    try:
+        scenario = get_fabric_scenario(
+            args.scenario, num_hosts=args.hosts, seed=args.seed
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    bus = None
+    if args.trace:
+        from ..obs import DEFAULT_MAX_EVENTS, TraceBus
+
+        bus = TraceBus(max_events=args.trace_events or DEFAULT_MAX_EVENTS)
+    try:
+        result = run_fabric(
+            scenario,
+            backend=args.backend,
+            load_scale=args.load_scale,
+            trace=bus,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(result.summary())
+    for key, value in result.scalars().items():
+        print(f"  {key:>16}: {value:g}")
+    if bus is not None:
+        from ..obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, bus.events)
+        dropped = f", {bus.dropped} dropped" if bus.dropped else ""
+        print(f"wrote {args.trace} ({len(bus.events)} events{dropped}; "
+              f"load into https://ui.perfetto.dev, or: "
+              f"python -m repro obs summary {args.trace})")
+    return 0 if result.finished else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import sweep_backends
+
+    backends = args.backends.split(",") if args.backends else None
+    try:
+        comparison = sweep_backends(
+            args.scenario,
+            backends=backends,
+            num_hosts=args.hosts,
+            seed=args.seed,
+            load_scale=args.load_scale,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(comparison.summary())
+    print()
+    print(comparison.table())
+    if args.csv is not None:
+        if args.csv == "-":
+            sys.stdout.write(comparison.to_csv())
+        else:
+            with open(args.csv, "w") as handle:
+                handle.write(comparison.to_csv())
+            print(f"wrote {args.csv}")
+    return 0 if all(r.finished for r in comparison.results) else 1
+
+
+def add_fabric_parser(subparsers: argparse._SubParsersAction) -> None:
+    fabric = subparsers.add_parser(
+        "fabric",
+        help="offload backends + multi-host fabric scenarios (repro.fabric)",
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command")
+
+    run = fabric_sub.add_parser("run", help="run one scenario on one backend")
+    run.add_argument("scenario", help="fabric scenario (see: fabric list)")
+    run.add_argument("--backend", default="f4t",
+                     help="backend name (see: fabric list)")
+    run.add_argument("--hosts", type=int, default=None,
+                     help="number of hosts (default: scenario preset)")
+    run.add_argument("--seed", type=int, default=None, help="top-level seed")
+    run.add_argument("--load-scale", type=float, default=1.0,
+                     help="multiply open-loop arrival rates")
+    run.add_argument("--trace", metavar="PATH",
+                     help="write a Chrome/Perfetto trace-event JSON")
+    run.add_argument("--trace-events", type=int, default=None,
+                     help="trace event cap (default 250000)")
+    run.set_defaults(fabric_handler=_cmd_run)
+
+    sweep = fabric_sub.add_parser(
+        "sweep", help="run one scenario across backends, head to head"
+    )
+    sweep.add_argument("scenario", nargs="?", default="incast",
+                       help="fabric scenario (default: incast)")
+    sweep.add_argument("--backends", default=None, metavar="B1,B2,...",
+                       help="comma-separated backends (default: all four)")
+    sweep.add_argument("--hosts", type=int, default=8,
+                       help="number of hosts (default 8)")
+    sweep.add_argument("--seed", type=int, default=None, help="top-level seed")
+    sweep.add_argument("--load-scale", type=float, default=1.0,
+                       help="multiply open-loop arrival rates")
+    sweep.add_argument("--csv", metavar="PATH",
+                       help="write the comparison CSV ('-' = stdout)")
+    sweep.set_defaults(fabric_handler=_cmd_sweep)
+
+    fabric_sub.add_parser(
+        "list", help="available backends and fabric scenarios"
+    ).set_defaults(fabric_handler=_cmd_list)
+
+
+def main(args: argparse.Namespace) -> int:
+    handler = getattr(args, "fabric_handler", None)
+    if handler is None:
+        print("usage: python -m repro fabric {run,sweep,list}")
+        return 2
+    return handler(args)

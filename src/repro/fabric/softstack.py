@@ -1,0 +1,832 @@
+"""A functional soft TCP endpoint implementing the backend protocol.
+
+:class:`SoftStack` is the shared transport under the FlexTOE, PnO and
+linux_stack backends (and under *every* backend in N-host fabrics): a
+byte-counting reliable stream — handshake, cumulative acks, sliding
+window with NewReno-style loss recovery, ECN echo, FIN teardown — whose
+NIC-side timing comes entirely from a pluggable
+:class:`~repro.fabric.service.ServiceModel`.  It exposes the exact
+host-facing surface of :class:`~repro.engine.ftengine.FtEngine`
+(``listen/connect/accept/send_data/readable/recv_data/close_flow/
+flow_state/flows/host_messages``), so :class:`~repro.traffic.engine.
+LoadEngine` and the ``repro.apps`` presets drive it unchanged.
+
+Payload content is not modelled — only byte counts move (the traffic
+harness frames requests by size and sends zeros anyway); ``recv_data``
+returns zero bytes of the requested length.  Sequence bookkeeping uses
+unbounded cumulative byte offsets starting at zero, not 32-bit wrapping
+sequence numbers, so ordered comparisons are exact without modular
+arithmetic.
+
+All timestamps are integer picoseconds end to end (simlint F4T007
+covers this package); the only randomness is the optional seeded drop
+impairment on :class:`SoftWire`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from ..engine.ftengine import EngineMessage
+from ..net.link import LINK_100G, PER_PACKET_OVERHEAD, Link
+from ..net.wire import derive_seed
+from ..tcp.segment import FlowKey, ip_from_string
+from ..tcp.state_machine import TcpState
+from .service import ServiceModel
+
+#: Engine-period compatibility constant: ``cycle`` properties below are
+#: derived from integer picoseconds at the F4T 250 MHz period.
+_PERIOD_PS = 4_000
+
+
+@dataclass
+class SoftStackConfig:
+    """Transport knobs shared by every soft backend."""
+
+    mss: int = 1460
+    send_buffer: int = 1 << 18
+    recv_buffer: int = 1 << 18
+    init_cwnd_segments: int = 10
+    #: Retransmission timeout floor (int ps); doubles per backoff.
+    rto_ps: int = 50_000_000
+    #: Handshake (SYN/SYN-ACK) retransmit interval (int ps).
+    handshake_rto_ps: int = 50_000_000
+
+
+class FabricPacket:
+    """One segment on a fabric link; sizes and offsets only, no bytes."""
+
+    __slots__ = (
+        "kind", "key", "offset", "ack_to", "payload_bytes", "window",
+        "ce", "ece",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        key: FlowKey,
+        offset: int = 0,
+        ack_to: int = 0,
+        payload_bytes: int = 0,
+        window: int = 0,
+        ece: bool = False,
+    ) -> None:
+        self.kind = kind          # 'syn' | 'synack' | 'data' | 'ack' | 'fin'
+        self.key = key            # sender's view: src = sender
+        self.offset = offset      # cumulative byte offset (data/fin)
+        self.ack_to = ack_to      # cumulative bytes acked by the sender
+        self.payload_bytes = payload_bytes
+        self.window = window      # advertised receive window
+        self.ce = False           # congestion-experienced (set by switch)
+        self.ece = ece            # receiver's CE echo
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload_bytes + PER_PACKET_OVERHEAD
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FabricPacket({self.kind}, {self.key}, off={self.offset}, "
+            f"ack={self.ack_to}, {self.payload_bytes}B)"
+        )
+
+
+class _SoftFlow:
+    """Per-connection state: both transmit and receive directions."""
+
+    __slots__ = (
+        "flow_id", "key", "slot", "state", "listen_port",
+        # transmit side (cumulative byte offsets from 0)
+        "app_written", "flow_acked", "next_to_send",
+        "cwnd", "ssthresh", "peer_window", "dup_acks", "recover_mark",
+        "ece_mark", "rto_deadline_ps", "rto_backoff",
+        "fin_queued", "fin_sent", "fin_acked",
+        # receive side
+        "contiguous", "delivered", "ooo", "peer_fin_at", "ce_pending",
+        "eof_posted",
+        # handshake
+        "hs_deadline_ps",
+    )
+
+    def __init__(
+        self, flow_id: int, key: FlowKey, slot: int, state: TcpState,
+        config: SoftStackConfig,
+    ) -> None:
+        self.flow_id = flow_id
+        self.key = key
+        self.slot = slot
+        self.state = state
+        self.listen_port: Optional[int] = None
+        self.app_written = 0
+        self.flow_acked = 0
+        self.next_to_send = 0
+        self.cwnd = config.init_cwnd_segments * config.mss
+        self.ssthresh = config.send_buffer
+        self.peer_window = config.recv_buffer
+        self.dup_acks = 0
+        self.recover_mark = 0
+        self.ece_mark = 0
+        self.rto_deadline_ps = 0          # 0 = timer off
+        self.rto_backoff = 0
+        self.fin_queued = False
+        self.fin_sent = False
+        self.fin_acked = False
+        self.contiguous = 0
+        self.delivered = 0
+        self.ooo: List[Tuple[int, int]] = []  # sorted disjoint (start, end)
+        self.peer_fin_at = -1
+        self.ce_pending = False
+        self.eof_posted = False
+        self.hs_deadline_ps = 0
+
+
+class _IntDirection:
+    """One direction of a point-to-point soft link, integer-ps timed."""
+
+    def __init__(self, link: Link, drop_rng: Optional[random.Random]) -> None:
+        bits_per_s = int(link.bandwidth_gbps * 1e9)
+        self._bits_per_s = bits_per_s
+        self._prop_ps = int(link.propagation_delay_us * 10**6)
+        self._drop_rng = drop_rng
+        self.drop_probability = 0.0
+        self.next_free_ps = 0
+        self._in_flight: List[Tuple[int, int, FabricPacket]] = []
+        self._sequence = 0
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+
+    def serialization_ps(self, wire_bytes: int) -> int:
+        return wire_bytes * 8 * 10**12 // self._bits_per_s
+
+    def transmit(self, packet: FabricPacket, now_ps: int) -> None:
+        if (
+            self._drop_rng is not None
+            and packet.kind == "data"
+            and self._drop_rng.random() < self.drop_probability
+        ):
+            self.frames_dropped += 1
+            return
+        start = now_ps if now_ps > self.next_free_ps else self.next_free_ps
+        self.next_free_ps = start + self.serialization_ps(packet.wire_bytes)
+        arrival = self.next_free_ps + self._prop_ps
+        self._sequence += 1
+        heapq.heappush(self._in_flight, (arrival, self._sequence, packet))
+        self.frames_sent += 1
+        self.bytes_sent += packet.wire_bytes
+
+    def deliver_due(self, now_ps: int) -> List[FabricPacket]:
+        due: List[FabricPacket] = []
+        while self._in_flight and self._in_flight[0][0] <= now_ps:
+            due.append(heapq.heappop(self._in_flight)[2])
+        return due
+
+    def next_arrival_ps(self) -> Optional[int]:
+        return self._in_flight[0][0] if self._in_flight else None
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+
+class SoftPort:
+    """One endpoint's handle on a soft link (same shape as WirePort)."""
+
+    def __init__(self, outbound: _IntDirection, inbound: _IntDirection) -> None:
+        self._outbound = outbound
+        self._inbound = inbound
+
+    def send(self, packet: FabricPacket, now_ps: int) -> None:
+        self._outbound.transmit(packet, now_ps)
+
+    def poll(self, now_ps: int) -> List[FabricPacket]:
+        return self._inbound.deliver_due(now_ps)
+
+    def next_arrival_ps(self) -> Optional[int]:
+        return self._inbound.next_arrival_ps()
+
+    @property
+    def pending(self) -> int:
+        return self._inbound.in_flight + self._outbound.in_flight
+
+
+class SoftWire:
+    """A duplex point-to-point soft link with optional seeded loss."""
+
+    def __init__(
+        self,
+        link: Link = LINK_100G,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.link = link
+        self._ab = _IntDirection(
+            link,
+            random.Random(derive_seed(seed, "soft-drop-a2b"))
+            if drop_probability > 0 else None,
+        )
+        self._ba = _IntDirection(
+            link,
+            random.Random(derive_seed(seed, "soft-drop-b2a"))
+            if drop_probability > 0 else None,
+        )
+        self._ab.drop_probability = drop_probability
+        self._ba.drop_probability = drop_probability
+        self.port_a = SoftPort(outbound=self._ab, inbound=self._ba)
+        self.port_b = SoftPort(outbound=self._ba, inbound=self._ab)
+
+    @property
+    def in_flight(self) -> int:
+        return self._ab.in_flight + self._ba.in_flight
+
+    @property
+    def frames_sent(self) -> int:
+        return self._ab.frames_sent + self._ba.frames_sent
+
+    @property
+    def frames_dropped(self) -> int:
+        return self._ab.frames_dropped + self._ba.frames_dropped
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._ab.bytes_sent + self._ba.bytes_sent
+
+    def next_arrival_ps(self) -> Optional[int]:
+        times = [
+            t
+            for t in (self._ab.next_arrival_ps(), self._ba.next_arrival_ps())
+            if t is not None
+        ]
+        return min(times) if times else None
+
+
+class SoftStack:
+    """One host's soft offload engine: transport + service model."""
+
+    def __init__(
+        self,
+        ip: int,
+        port,
+        service: ServiceModel,
+        config: Optional[SoftStackConfig] = None,
+        name: str = "soft",
+    ) -> None:
+        self.ip = ip
+        self.port = port
+        self.service = service
+        self.config = config or SoftStackConfig()
+        self.name = name
+        self.now_ps = 0  # the driving loop sets this before tick()
+        self.flows: Dict[int, _SoftFlow] = {}
+        self.host_messages: Dict[int, Deque[EngineMessage]] = {0: deque()}
+        self._listening: Set[int] = set()
+        self._accept_queues: Dict[int, Deque[int]] = {}
+        self._by_key: Dict[FlowKey, int] = {}
+        self._next_flow_id = 0
+        self._next_port = 49152
+        self._free_slots: List[int] = []
+        self._next_slot = 0
+        # Counters surfaced into fabric results and obs samples.
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self.ecn_echoes = 0
+        #: Observability (repro.obs): a TraceBus, or None (free default).
+        self.trace = None
+        self.trace_name = name
+
+    # ------------------------------------------------------------- plumbing
+    def _post(self, kind: str, flow_id: int, value: int = 0) -> None:
+        self.host_messages[0].append(EngineMessage(kind, flow_id, value))
+
+    def _alloc_slot(self) -> int:
+        if self._free_slots:
+            return heapq.heappop(self._free_slots)
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    def _emit(self, packet: FabricPacket, at_ps: int) -> None:
+        self.port.send(packet, at_ps)
+        self.packets_sent += 1
+
+    def _send_segment(self, flow: _SoftFlow, packet: FabricPacket) -> int:
+        """Run one outbound segment through the service model; returns
+        the instant it reached the wire."""
+        at = self.service.tx_ready_ps(
+            self.now_ps, flow.slot, packet.payload_bytes
+        )
+        self._emit(packet, at)
+        if self.trace is not None:
+            self.trace.emit(
+                at, "fabric", self.trace_name, f"tx-{packet.kind}",
+                flow.flow_id, f"off={packet.offset} n={packet.payload_bytes}",
+            )
+        return at
+
+    def _rwnd(self, flow: _SoftFlow) -> int:
+        used = flow.contiguous - flow.delivered
+        free = self.config.recv_buffer - used
+        return free if free > 0 else 0
+
+    # ----------------------------------------------------- host-facing API
+    def listen(self, port: int) -> None:
+        self._listening.add(port)
+        self._accept_queues.setdefault(port, deque())
+
+    def connect(self, dst_ip: int, dst_port: int) -> int:
+        src_port = self._next_port
+        self._next_port += 1
+        key = FlowKey(self.ip, src_port, dst_ip, dst_port)
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        flow = _SoftFlow(
+            flow_id, key, self._alloc_slot(), TcpState.SYN_SENT, self.config
+        )
+        self.flows[flow_id] = flow
+        self._by_key[key] = flow_id
+        at = self._send_segment(flow, FabricPacket("syn", key))
+        flow.hs_deadline_ps = at + self.config.handshake_rto_ps
+        return flow_id
+
+    def accept(self, port: int, thread_id: int = 0) -> Optional[int]:
+        queue = self._accept_queues.get(port)
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def flow_state(self, flow_id: int) -> Optional[TcpState]:
+        flow = self.flows.get(flow_id)
+        return flow.state if flow is not None else None
+
+    def send_data(self, flow_id: int, data: bytes) -> int:
+        flow = self.flows.get(flow_id)
+        if flow is None or flow.fin_queued:
+            return 0
+        room = self.config.send_buffer - (flow.app_written - flow.flow_acked)
+        accepted = min(len(data), room) if room > 0 else 0
+        if accepted <= 0:
+            return 0
+        flow.app_written += accepted
+        if flow.state is TcpState.ESTABLISHED:
+            self._pump_flow(flow)
+        return accepted
+
+    def readable(self, flow_id: int) -> int:
+        flow = self.flows.get(flow_id)
+        if flow is None:
+            return 0
+        return flow.contiguous - flow.delivered
+
+    def recv_data(self, flow_id: int, nbytes: int) -> bytes:
+        flow = self.flows.get(flow_id)
+        if flow is None:
+            return b""
+        take = min(nbytes, flow.contiguous - flow.delivered)
+        if take <= 0:
+            return b""
+        flow.delivered += take
+        return bytes(take)
+
+    def close_flow(self, flow_id: int) -> None:
+        flow = self.flows.get(flow_id)
+        if flow is None or flow.fin_queued:
+            return
+        flow.fin_queued = True
+        if flow.state is TcpState.ESTABLISHED:
+            self._pump_flow(flow)
+
+    def drain_host_messages(self, thread_id: int = 0) -> List[EngineMessage]:
+        queue = self.host_messages.get(thread_id)
+        if not queue:
+            return []
+        drained = list(queue)
+        queue.clear()
+        return drained
+
+    # ------------------------------------------------------------ the tick
+    def busy(self) -> bool:
+        return any(
+            flow.next_to_send < flow.app_written
+            or flow.flow_acked < flow.next_to_send
+            for flow in self.flows.values()
+        )
+
+    def next_wakeup_ps(self) -> Optional[int]:
+        deadline: Optional[int] = None
+        for flow in self.flows.values():
+            for candidate in (flow.rto_deadline_ps, flow.hs_deadline_ps):
+                if candidate and (deadline is None or candidate < deadline):
+                    deadline = candidate
+        return deadline
+
+    def tick(self) -> None:
+        now = self.now_ps
+        for packet in self.port.poll(now):
+            self._receive(packet, now)
+        self._expire_timers(now)
+
+    # ------------------------------------------------------- the data path
+    def _pump_flow(self, flow: _SoftFlow) -> None:
+        """Send whatever the window allows; arm the retransmit timer."""
+        config = self.config
+        window = flow.cwnd if flow.cwnd < flow.peer_window else flow.peer_window
+        sent_any = False
+        last_at = 0
+        while flow.next_to_send < flow.app_written:
+            flight = flow.next_to_send - flow.flow_acked
+            if flight >= window:
+                break
+            chunk = min(
+                config.mss, flow.app_written - flow.next_to_send,
+                window - flight,
+            )
+            last_at = self._send_segment(
+                flow,
+                FabricPacket(
+                    "data", flow.key, offset=flow.next_to_send,
+                    payload_bytes=chunk, ack_to=flow.contiguous,
+                    window=self._rwnd(flow),
+                ),
+            )
+            flow.next_to_send += chunk
+            sent_any = True
+        if (
+            flow.fin_queued
+            and not flow.fin_sent
+            and flow.next_to_send == flow.app_written
+        ):
+            last_at = self._send_segment(
+                flow, FabricPacket("fin", flow.key, offset=flow.app_written)
+            )
+            flow.fin_sent = True
+            sent_any = True
+        if sent_any and flow.rto_deadline_ps == 0:
+            flow.rto_deadline_ps = last_at + (
+                config.rto_ps << flow.rto_backoff
+            )
+
+    def _retransmit_from(self, flow: _SoftFlow, go_back: bool) -> None:
+        """Resend from the cumulative ack point (one MSS, or go-back-N)."""
+        self.retransmits += 1
+        if self.trace is not None:
+            self.trace.emit(
+                self.now_ps, "fabric", self.trace_name, "retx",
+                flow.flow_id, f"from={flow.flow_acked} gbn={int(go_back)}",
+            )
+        if go_back:
+            flow.next_to_send = flow.flow_acked
+            flow.fin_sent = False
+            self._pump_flow(flow)
+            return
+        chunk = min(
+            self.config.mss, flow.app_written - flow.flow_acked
+        )
+        if chunk > 0:
+            self._send_segment(
+                flow,
+                FabricPacket(
+                    "data", flow.key, offset=flow.flow_acked,
+                    payload_bytes=chunk, ack_to=flow.contiguous,
+                    window=self._rwnd(flow),
+                ),
+            )
+        elif flow.fin_sent and not flow.fin_acked:
+            self._send_segment(
+                flow, FabricPacket("fin", flow.key, offset=flow.app_written)
+            )
+
+    def _expire_timers(self, now: int) -> None:
+        for flow in list(self.flows.values()):
+            if flow.hs_deadline_ps and now >= flow.hs_deadline_ps:
+                if flow.state is TcpState.SYN_SENT:
+                    at = self._send_segment(flow, FabricPacket("syn", flow.key))
+                    flow.hs_deadline_ps = at + self.config.handshake_rto_ps
+                elif flow.state is TcpState.SYN_RECEIVED:
+                    at = self._send_segment(
+                        flow, FabricPacket("synack", flow.key)
+                    )
+                    flow.hs_deadline_ps = at + self.config.handshake_rto_ps
+                else:
+                    flow.hs_deadline_ps = 0
+            if flow.rto_deadline_ps and now >= flow.rto_deadline_ps:
+                outstanding = (
+                    flow.flow_acked < flow.next_to_send
+                    or (flow.fin_sent and not flow.fin_acked)
+                )
+                if not outstanding:
+                    flow.rto_deadline_ps = 0
+                    continue
+                self.timeouts += 1
+                flight = flow.next_to_send - flow.flow_acked
+                half = flight // 2
+                flow.ssthresh = max(half, 2 * self.config.mss)
+                flow.cwnd = self.config.mss
+                if flow.rto_backoff < 6:
+                    flow.rto_backoff += 1
+                flow.rto_deadline_ps = now + (
+                    self.config.rto_ps << flow.rto_backoff
+                )
+                self._retransmit_from(flow, go_back=True)
+
+    # ------------------------------------------------------------- receive
+    def _receive(self, packet: FabricPacket, now: int) -> None:
+        self.packets_received += 1
+        kind = packet.kind
+        if kind == "syn":
+            self._on_syn(packet)
+            return
+        # Everything else belongs to an existing flow, looked up by the
+        # local view of the 4-tuple (the peer's key reversed).
+        flow_id = self._by_key.get(packet.key.reversed())
+        if flow_id is None:
+            return  # late segment for a torn-down flow
+        flow = self.flows[flow_id]
+        if self.trace is not None:
+            self.trace.emit(
+                now, "fabric", self.trace_name, f"rx-{kind}",
+                flow_id, f"off={packet.offset} n={packet.payload_bytes}",
+            )
+        if kind == "synack":
+            self._on_synack(flow)
+            return
+        if flow.state is TcpState.SYN_RECEIVED:
+            # Handshake ACK (possibly carrying data): promote + enqueue
+            # on the accept queue before normal processing.
+            flow.state = TcpState.ESTABLISHED
+            flow.hs_deadline_ps = 0
+            port = flow.listen_port
+            if port is not None:
+                self._accept_queues.setdefault(port, deque()).append(flow_id)
+            self._post("accepted", flow_id)
+        if kind == "data":
+            self._on_data(flow, packet, now)
+        elif kind == "ack":
+            self._on_ack(flow, packet, now)
+        elif kind == "fin":
+            self._on_fin(flow, packet, now)
+        self._maybe_teardown(flow)
+
+    def _on_syn(self, packet: FabricPacket) -> None:
+        if packet.key.dst_port not in self._listening:
+            return
+        key = packet.key.reversed()  # our view: src = us
+        existing = self._by_key.get(key)
+        if existing is not None:
+            flow = self.flows[existing]  # duplicate SYN: re-answer
+        else:
+            flow_id = self._next_flow_id
+            self._next_flow_id += 1
+            flow = _SoftFlow(
+                flow_id, key, self._alloc_slot(), TcpState.SYN_RECEIVED,
+                self.config,
+            )
+            flow.listen_port = packet.key.dst_port
+            self.flows[flow_id] = flow
+            self._by_key[key] = flow_id
+        at = self._send_segment(flow, FabricPacket("synack", flow.key))
+        flow.hs_deadline_ps = at + self.config.handshake_rto_ps
+
+    def _on_synack(self, flow: _SoftFlow) -> None:
+        if flow.state is not TcpState.SYN_SENT:
+            return  # duplicate SYN-ACK
+        flow.state = TcpState.ESTABLISHED
+        flow.hs_deadline_ps = 0
+        self._post("connected", flow.flow_id)
+        self._send_segment(
+            flow,
+            FabricPacket(
+                "ack", flow.key, ack_to=0, window=self._rwnd(flow)
+            ),
+        )
+        self._pump_flow(flow)
+
+    def _on_data(self, flow: _SoftFlow, packet: FabricPacket, now: int) -> None:
+        if packet.ce:
+            flow.ce_pending = True
+        start, end = packet.offset, packet.offset + packet.payload_bytes
+        before = flow.contiguous
+        if start <= flow.contiguous:
+            if end > flow.contiguous:
+                flow.contiguous = end
+            # Absorb any out-of-order runs now made contiguous.
+            merged: List[Tuple[int, int]] = []
+            for lo, hi in flow.ooo:
+                if lo <= flow.contiguous:
+                    if hi > flow.contiguous:
+                        flow.contiguous = hi
+                else:
+                    merged.append((lo, hi))
+            flow.ooo = merged
+        else:
+            self._insert_ooo(flow, start, end)
+        if flow.contiguous > before:
+            self._post("data", flow.flow_id, flow.contiguous - before)
+        self._ack_now(flow)
+
+    def _insert_ooo(self, flow: _SoftFlow, start: int, end: int) -> None:
+        runs = flow.ooo
+        runs.append((start, end))
+        runs.sort()
+        merged = [runs[0]]
+        for lo, hi in runs[1:]:
+            last_lo, last_hi = merged[-1]
+            if lo <= last_hi:
+                merged[-1] = (last_lo, max(last_hi, hi))
+            else:
+                merged.append((lo, hi))
+        flow.ooo = merged
+
+    def _ack_now(self, flow: _SoftFlow) -> None:
+        ack_to = flow.contiguous
+        if (
+            flow.peer_fin_at >= 0
+            and flow.contiguous >= flow.peer_fin_at
+        ):
+            ack_to = flow.peer_fin_at + 1  # the FIN's virtual byte
+        self._send_segment(
+            flow,
+            FabricPacket(
+                "ack", flow.key, ack_to=ack_to,
+                window=self._rwnd(flow), ece=flow.ce_pending,
+            ),
+        )
+        flow.ce_pending = False
+
+    def _on_ack(self, flow: _SoftFlow, packet: FabricPacket, now: int) -> None:
+        config = self.config
+        flow.peer_window = max(packet.window, config.mss)
+        if packet.ece and flow.flow_acked >= flow.ece_mark:
+            # One multiplicative decrease per window of ECN echo.
+            half = flow.cwnd // 2
+            flow.cwnd = max(config.mss, half)
+            flow.ssthresh = flow.cwnd
+            flow.ece_mark = flow.next_to_send
+            self.ecn_echoes += 1
+        fin_point = flow.app_written + 1 if flow.fin_sent else -1
+        if packet.ack_to == fin_point and not flow.fin_acked:
+            flow.fin_acked = True
+            flow.flow_acked = flow.app_written
+            flow.rto_deadline_ps = 0
+            return
+        advanced = packet.ack_to - flow.flow_acked
+        if advanced > 0:
+            flow.flow_acked = packet.ack_to
+            flow.dup_acks = 0
+            flow.rto_backoff = 0
+            outstanding = (
+                flow.flow_acked < flow.next_to_send
+                or (flow.fin_sent and not flow.fin_acked)
+            )
+            flow.rto_deadline_ps = (
+                now + config.rto_ps if outstanding else 0
+            )
+            if flow.next_to_send < flow.flow_acked:
+                flow.next_to_send = flow.flow_acked
+            # Congestion window growth: slow start, then ~MSS per RTT.
+            if flow.cwnd < flow.ssthresh:
+                flow.cwnd += min(advanced, config.mss)
+            else:
+                flow.cwnd += max(1, config.mss * config.mss // flow.cwnd)
+            if flow.cwnd > config.send_buffer:
+                flow.cwnd = config.send_buffer
+            self._post("acked", flow.flow_id, advanced)
+            self._pump_flow(flow)
+        elif (
+            packet.ack_to == flow.flow_acked
+            and flow.next_to_send > flow.flow_acked
+        ):
+            flow.dup_acks += 1
+            if flow.dup_acks == 3 and flow.flow_acked >= flow.recover_mark:
+                half = (flow.next_to_send - flow.flow_acked) // 2
+                flow.ssthresh = max(half, 2 * config.mss)
+                flow.cwnd = flow.ssthresh
+                flow.recover_mark = flow.next_to_send
+                self._retransmit_from(flow, go_back=False)
+
+    def _on_fin(self, flow: _SoftFlow, packet: FabricPacket, now: int) -> None:
+        flow.peer_fin_at = packet.offset
+        self._ack_now(flow)
+
+    def _maybe_teardown(self, flow: _SoftFlow) -> None:
+        peer_done = (
+            flow.peer_fin_at >= 0 and flow.contiguous >= flow.peer_fin_at
+        )
+        if peer_done and not flow.eof_posted:
+            flow.eof_posted = True
+            self._post("eof", flow.flow_id)
+        if peer_done and flow.fin_acked:
+            flow.state = TcpState.CLOSED
+            del self.flows[flow.flow_id]
+            self._by_key.pop(flow.key, None)
+            heapq.heappush(self._free_slots, flow.slot)
+            self._post("closed", flow.flow_id)
+            if self.trace is not None:
+                self.trace.emit(
+                    self.now_ps, "fabric", self.trace_name, "closed",
+                    flow.flow_id, "teardown complete",
+                )
+
+
+class SoftTestbed:
+    """Two soft stacks back to back: the point-to-point backend testbed.
+
+    The same shape as :class:`~repro.engine.testbed.Testbed` —
+    ``engine_a``/``engine_b``/``wire``/``run()``/``now_s``/``cycle`` —
+    but driven as a discrete-event loop over integer picoseconds: the
+    soft stacks do nothing between packet arrivals and timer deadlines,
+    so the loop jumps straight from event to event.
+    """
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(
+        self,
+        service_factory: Callable[[], ServiceModel],
+        link: Link = LINK_100G,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+        config: Optional[SoftStackConfig] = None,
+        backend: str = "soft",
+    ) -> None:
+        self.wire = SoftWire(
+            link, drop_probability=drop_probability, seed=seed
+        )
+        self.backend = backend
+        self.engine_a = SoftStack(
+            ip_from_string("10.0.0.1"), self.wire.port_a, service_factory(),
+            config=config, name="a",
+        )
+        self.engine_b = SoftStack(
+            ip_from_string("10.0.0.2"), self.wire.port_b, service_factory(),
+            config=config, name="b",
+        )
+        self.time_ps = 0
+
+    @property
+    def now_s(self) -> float:
+        return self.time_ps / 1e12
+
+    @property
+    def cycle(self) -> int:
+        return self.time_ps // _PERIOD_PS
+
+    def _next_event_ps(self) -> Optional[int]:
+        candidates = []
+        arrival = self.wire.next_arrival_ps()
+        if arrival is not None:
+            candidates.append(arrival)
+        for engine in (self.engine_a, self.engine_b):
+            wakeup = engine.next_wakeup_ps()
+            if wakeup is not None:
+                candidates.append(wakeup)
+        future = [t for t in candidates if t > self.time_ps]
+        return min(future) if future else None
+
+    def _settle(self) -> None:
+        """Process everything due at the current instant."""
+        engine_a, engine_b = self.engine_a, self.engine_b
+        engine_a.now_ps = self.time_ps
+        engine_b.now_ps = self.time_ps
+        engine_a.tick()
+        engine_b.tick()
+
+    def run(
+        self,
+        until: Optional[Callable[[], bool]] = None,
+        max_time_s: float = 1.0,
+        max_steps: int = 50_000_000,
+        wakeup_ps: Optional[Callable[[], Optional[float]]] = None,
+    ) -> bool:
+        """Event-driven run; the same contract as ``Testbed.run``."""
+        max_time_ps = int(max_time_s * 1e12)
+        steps = 0
+        while True:
+            self._settle()
+            if until is not None and until():
+                return True
+            if self.time_ps >= max_time_ps or steps >= max_steps:
+                return False
+            nxt = self._next_event_ps()
+            if wakeup_ps is not None:
+                external = wakeup_ps()
+                if external is not None:
+                    # Ceil: landing one truncated ps *before* a float
+                    # wakeup leaves the driver's predicate unsatisfied
+                    # with no other event in the future — a stall.
+                    external_ps = int(external) + (external > int(external))
+                    if external_ps > self.time_ps and (
+                        nxt is None or external_ps < nxt
+                    ):
+                        nxt = external_ps
+            if nxt is None:
+                if until is None:
+                    return True  # fully idle and nothing awaited
+                return False  # stalled: no event can change until()
+            self.time_ps = min(nxt, max_time_ps)
+            steps += 1

@@ -1,0 +1,110 @@
+"""Head-to-head backend comparison over one fabric scenario.
+
+``sweep_backends`` runs the same seeded scenario once per backend and
+collects the results into a :class:`BackendComparison` — the table
+``python -m repro fabric sweep`` prints and ``repro.lab`` persists.
+Each backend run is fully independent (its own switch, stacks and RNG
+streams re-derived from the one seed), so the comparison is
+deterministic: same seed, same CSV, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from .backend import available_backends, get_backend
+from .engine import FabricResult, run_fabric
+from .scenarios import FabricScenario, get_fabric_scenario
+
+
+@dataclass
+class BackendComparison:
+    """Per-backend results for one scenario, requested order preserved."""
+
+    scenario: str
+    num_hosts: int
+    seed: int
+    load_scale: float
+    results: List[FabricResult]
+
+    _COLUMNS = [
+        "backend", "provenance", "completed", "goodput_gbps",
+        "p50_us", "p99_us", "retransmits", "switch_drops", "ecn_marks",
+    ]
+
+    def rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for result in self.results:
+            spec = get_backend(result.backend)
+            rows.append([
+                result.backend,
+                spec.provenance,
+                result.completed,
+                result.goodput_gbps,
+                result.p50_s * 1e6,
+                result.p99_s * 1e6,
+                result.retransmits,
+                result.switch_drops,
+                result.ecn_marks,
+            ])
+        return rows
+
+    def table(self) -> str:
+        from ..analysis.reporting import render_table
+
+        return render_table(self._COLUMNS, self.rows())
+
+    def to_csv(self) -> str:
+        from ..analysis.reporting import format_value
+
+        header = ["scenario", "num_hosts", "seed", "load_scale"] + self._COLUMNS
+        lines = [",".join(header)]
+        for row in self.rows():
+            prefix = [
+                self.scenario, str(self.num_hosts), str(self.seed),
+                format_value(self.load_scale),
+            ]
+            lines.append(",".join(prefix + [format_value(v) for v in row]))
+        return "\n".join(lines) + "\n"
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.scenario}: {self.num_hosts} hosts, seed {self.seed}, "
+            f"load x{self.load_scale:g}"
+        ]
+        lines += [f"  {result.summary()}" for result in self.results]
+        return "\n".join(lines)
+
+
+def sweep_backends(
+    scenario: Union[str, FabricScenario],
+    backends: Optional[Sequence[str]] = None,
+    num_hosts: Optional[int] = None,
+    seed: Optional[int] = None,
+    load_scale: float = 1.0,
+    max_time_s: float = 0.25,
+) -> BackendComparison:
+    """Run one scenario across backends; see :class:`BackendComparison`."""
+    if isinstance(scenario, str):
+        scenario = get_fabric_scenario(scenario, num_hosts=num_hosts, seed=seed)
+    else:
+        if num_hosts is not None:
+            scenario = scenario.with_hosts(num_hosts)
+        if seed is not None:
+            scenario = scenario.with_seed(seed)
+    names = list(backends) if backends else list(available_backends())
+    results = [
+        run_fabric(
+            scenario, backend=name, load_scale=load_scale,
+            max_time_s=max_time_s,
+        )
+        for name in names
+    ]
+    return BackendComparison(
+        scenario=scenario.name,
+        num_hosts=scenario.num_hosts,
+        seed=scenario.seed,
+        load_scale=load_scale,
+        results=results,
+    )

@@ -1,0 +1,342 @@
+"""A deterministic output-queued switch with shared-buffer contention.
+
+N hosts attach through full-duplex links; every packet crosses one
+uplink (serialization + propagation), is admitted against a shared
+packet buffer, queues at its destination's output port, and leaves
+through the egress serializer (+ propagation).  The three contended
+resources that make fabric scenarios interesting — egress bandwidth,
+shared buffer, and the admission policy arbitrating it — are all here:
+
+* **Buffer partitioning** (``SwitchConfig.partition``): ``shared``
+  (one pool, first come first buffered), ``static`` (hard per-output
+  slice), or ``dynamic`` (classic dynamic-threshold: a port may hold at
+  most ``alpha x`` the *remaining free* buffer, so hot ports are
+  throttled while idle ports' share stays reclaimable).
+* **Queueing** (``SwitchConfig.queueing``): per-output ``fifo``, or
+  ``drr`` — deficit-round-robin across source hosts, an approximate
+  fair-queueing discipline that stops one heavy sender from starving
+  the rest of an incast.
+* **ECN hook** (``SwitchConfig.ecn_threshold_bytes``): packets enqueued
+  above the threshold are CE-marked; the soft stacks echo the mark and
+  halve their windows — DCTCP-flavored, deliberately minimal.
+
+Everything is integer picoseconds and integer bytes; events are
+processed in global (time, port-index) order, so one seed replays one
+run bit for bit (the switch itself has *no* RNG at all).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..net.link import LINK_100G, Link
+from ..tcp.segment import ip_from_string
+from .softstack import FabricPacket, _IntDirection
+
+#: First host IP; host ``i`` is ``_BASE_IP + i`` (plain int arithmetic).
+_BASE_IP = ip_from_string("10.0.0.1")
+
+
+@dataclass(frozen=True)
+class SwitchConfig:
+    """Knobs for the output-queued shared-buffer switch."""
+
+    #: Total packet buffer shared by all output queues.
+    buffer_bytes: int = 1 << 21
+    #: ``shared`` | ``static`` | ``dynamic`` (dynamic-threshold).
+    partition: str = "dynamic"
+    #: Dynamic-threshold alpha in eighths (8 = 1.0), kept integral so
+    #: admission math never leaves integer bytes.
+    dt_alpha_x8: int = 8
+    #: ``fifo`` | ``drr`` (deficit round robin across source hosts).
+    queueing: str = "fifo"
+    #: DRR quantum per visit (bytes on the wire).
+    drr_quantum_bytes: int = 3076
+    #: CE-mark packets enqueued above this depth; 0 disables ECN.
+    ecn_threshold_bytes: int = 0
+    #: Host-to-switch and switch-to-host link (both directions).
+    link: Link = field(default_factory=lambda: LINK_100G)
+
+    def validate(self) -> None:
+        if self.partition not in ("shared", "static", "dynamic"):
+            raise ValueError(f"unknown partition {self.partition!r}")
+        if self.queueing not in ("fifo", "drr"):
+            raise ValueError(f"unknown queueing {self.queueing!r}")
+        if self.buffer_bytes <= 0:
+            raise ValueError("buffer_bytes must be positive")
+        if self.dt_alpha_x8 <= 0:
+            raise ValueError("dt_alpha_x8 must be positive")
+
+
+class _OutputQueue:
+    """One egress port's queue: FIFO, or DRR over per-source queues."""
+
+    def __init__(self, config: SwitchConfig) -> None:
+        self._drr = config.queueing == "drr"
+        self._quantum = config.drr_quantum_bytes
+        #: FIFO mode: one deque of (packet, enqueue_ps).
+        self._fifo: Deque[Tuple[FabricPacket, int]] = deque()
+        #: DRR mode: per-source deques plus the active rotation.
+        self._per_src: Dict[int, Deque[Tuple[FabricPacket, int]]] = {}
+        self._active: Deque[int] = deque()
+        self._deficit: Dict[int, int] = {}
+        self.queued_bytes = 0
+        self.queued_packets = 0
+
+    def push(self, packet: FabricPacket, src: int, enqueue_ps: int) -> None:
+        if self._drr:
+            queue = self._per_src.get(src)
+            if queue is None:
+                queue = self._per_src[src] = deque()
+            if not queue:
+                self._active.append(src)
+                self._deficit[src] = 0
+            queue.append((packet, enqueue_ps))
+        else:
+            self._fifo.append((packet, enqueue_ps))
+        self.queued_bytes += packet.wire_bytes
+        self.queued_packets += 1
+
+    def head_ready_ps(self) -> Optional[int]:
+        """Earliest enqueue instant among queued packets (None = empty)."""
+        if not self._drr:
+            return self._fifo[0][1] if self._fifo else None
+        ready: Optional[int] = None
+        for src in self._active:
+            t = self._per_src[src][0][1]
+            if ready is None or t < ready:
+                ready = t
+        return ready
+
+    def pop(self) -> Tuple[FabricPacket, int]:
+        """Dequeue the next packet per the discipline."""
+        if not self._drr:
+            packet, enqueue_ps = self._fifo.popleft()
+        else:
+            while True:
+                src = self._active[0]
+                queue = self._per_src[src]
+                head_bytes = queue[0][0].wire_bytes
+                if self._deficit[src] >= head_bytes:
+                    self._deficit[src] -= head_bytes
+                    packet, enqueue_ps = queue.popleft()
+                    if not queue:
+                        self._active.popleft()
+                        self._deficit[src] = 0
+                    break
+                # Not enough deficit: top up and move to the next source.
+                self._deficit[src] += self._quantum
+                self._active.rotate(-1)
+        self.queued_bytes -= packet.wire_bytes
+        self.queued_packets -= 1
+        return packet, enqueue_ps
+
+
+class _FabricPort:
+    """One host's NIC-side handle on the fabric (SoftPort-shaped)."""
+
+    def __init__(self, fabric: "SwitchFabric", index: int) -> None:
+        self._fabric = fabric
+        self._index = index
+
+    def send(self, packet: FabricPacket, now_ps: int) -> None:
+        self._fabric._uplinks[self._index].transmit(packet, now_ps)
+
+    def poll(self, now_ps: int) -> List[FabricPacket]:
+        self._fabric.advance(now_ps)
+        heap = self._fabric._delivery[self._index]
+        due: List[FabricPacket] = []
+        while heap and heap[0][0] <= now_ps:
+            due.append(heapq.heappop(heap)[2])
+        return due
+
+    def next_arrival_ps(self) -> Optional[int]:
+        heap = self._fabric._delivery[self._index]
+        return heap[0][0] if heap else None
+
+    @property
+    def pending(self) -> int:
+        return self._fabric.in_flight
+
+
+class SwitchFabric:
+    """N host ports around one output-queued shared-buffer switch."""
+
+    def __init__(self, num_hosts: int, config: Optional[SwitchConfig] = None) -> None:
+        if num_hosts < 2:
+            raise ValueError("a fabric needs at least 2 hosts")
+        self.config = config or SwitchConfig()
+        self.config.validate()
+        self.num_hosts = num_hosts
+        link = self.config.link
+        self._uplinks = [_IntDirection(link, None) for _ in range(num_hosts)]
+        self._queues = [_OutputQueue(self.config) for _ in range(num_hosts)]
+        self._egress_free_ps = [0] * num_hosts
+        self._egress_prop_ps = int(link.propagation_delay_us * 10**6)
+        self._bits_per_s = int(link.bandwidth_gbps * 1e9)
+        #: Per-host inbound deliveries: heaps of (arrival_ps, seq, packet).
+        self._delivery: List[List[Tuple[int, int, FabricPacket]]] = [
+            [] for _ in range(num_hosts)
+        ]
+        self._delivery_seq = 0
+        self.buffer_used = 0
+        # Counters (all deterministic; surfaced into FabricResult).
+        self.forwarded = 0
+        self.dropped = 0
+        self.drops_per_port = [0] * num_hosts
+        self.ecn_marked = 0
+        self.peak_buffer_bytes = 0
+        #: Observability (repro.obs): a TraceBus, or None (free default).
+        self.trace = None
+
+    # -------------------------------------------------------------- wiring
+    def host_ip(self, index: int) -> int:
+        return _BASE_IP + index
+
+    def port(self, index: int) -> _FabricPort:
+        return _FabricPort(self, index)
+
+    def _host_of_ip(self, ip: int) -> Optional[int]:
+        index = ip - _BASE_IP
+        return index if 0 <= index < self.num_hosts else None
+
+    # ------------------------------------------------------------ policies
+    def _admit_limit(self, out_port: int) -> int:
+        """Max queued bytes this output may hold right now."""
+        config = self.config
+        if config.partition == "shared":
+            return config.buffer_bytes
+        if config.partition == "static":
+            return config.buffer_bytes // self.num_hosts
+        # Dynamic threshold: alpha x free buffer, evaluated on arrival.
+        free = config.buffer_bytes - self.buffer_used
+        return config.dt_alpha_x8 * free // 8
+
+    # ------------------------------------------------------ the event loop
+    def _next_ingress(self) -> Optional[Tuple[int, int]]:
+        """Earliest (arrival_ps, src_index) across uplinks."""
+        best: Optional[Tuple[int, int]] = None
+        for index, uplink in enumerate(self._uplinks):
+            t = uplink.next_arrival_ps()
+            if t is not None and (best is None or t < best[0]):
+                best = (t, index)
+        return best
+
+    def _next_egress(self) -> Optional[Tuple[int, int]]:
+        """Earliest (start_ps, out_port) an egress could begin serving."""
+        best: Optional[Tuple[int, int]] = None
+        for index, queue in enumerate(self._queues):
+            head = queue.head_ready_ps()
+            if head is None:
+                continue
+            start = self._egress_free_ps[index]
+            if start < head:
+                start = head
+            if best is None or start < best[0]:
+                best = (start, index)
+        return best
+
+    def next_event_ps(self) -> Optional[int]:
+        """Earliest instant at which the fabric's state next changes."""
+        times: List[int] = []
+        ingress = self._next_ingress()
+        if ingress is not None:
+            times.append(ingress[0])
+        egress = self._next_egress()
+        if egress is not None:
+            times.append(egress[0])
+        for heap in self._delivery:
+            if heap:
+                times.append(heap[0][0])
+        return min(times) if times else None
+
+    def advance(self, now_ps: int) -> None:
+        """Process every switch event due at or before ``now_ps``.
+
+        Events are handled in global time order with ingress admissions
+        before egress starts at the same instant, ties across ports
+        broken by host index — a fixed total order, hence determinism.
+        """
+        while True:
+            ingress = self._next_ingress()
+            egress = self._next_egress()
+            ingress_t = ingress[0] if ingress is not None else None
+            egress_t = egress[0] if egress is not None else None
+            if ingress_t is not None and ingress_t <= now_ps and (
+                egress_t is None or ingress_t <= egress_t
+            ):
+                t, src = ingress
+                for packet in self._uplinks[src].deliver_due(t):
+                    self._admit(packet, src, t)
+                continue
+            if egress_t is not None and egress_t <= now_ps:
+                self._serve(egress[1], egress_t)
+                continue
+            return
+
+    def _admit(self, packet: FabricPacket, src: int, now_ps: int) -> None:
+        out_port = self._host_of_ip(packet.key.dst_ip)
+        if out_port is None:
+            self.dropped += 1  # no such host: blackholed
+            return
+        queue = self._queues[out_port]
+        wire_bytes = packet.wire_bytes
+        if queue.queued_bytes + wire_bytes > self._admit_limit(out_port):
+            self.dropped += 1
+            self.drops_per_port[out_port] += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    now_ps, "fabric", "switch", "drop", -1,
+                    f"port={out_port} src={src} {wire_bytes}B "
+                    f"depth={queue.queued_bytes}",
+                )
+            return
+        threshold = self.config.ecn_threshold_bytes
+        if threshold > 0 and queue.queued_bytes + wire_bytes > threshold:
+            packet.ce = True
+            self.ecn_marked += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    now_ps, "fabric", "switch", "ecn-mark", -1,
+                    f"port={out_port} depth={queue.queued_bytes + wire_bytes}",
+                )
+        queue.push(packet, src, now_ps)
+        self.buffer_used += wire_bytes
+        if self.buffer_used > self.peak_buffer_bytes:
+            self.peak_buffer_bytes = self.buffer_used
+
+    def _serve(self, out_port: int, start_ps: int) -> None:
+        queue = self._queues[out_port]
+        packet, _ = queue.pop()
+        self.buffer_used -= packet.wire_bytes
+        ser_ps = packet.wire_bytes * 8 * 10**12 // self._bits_per_s
+        self._egress_free_ps[out_port] = start_ps + ser_ps
+        arrival = start_ps + ser_ps + self._egress_prop_ps
+        self._delivery_seq += 1
+        heapq.heappush(
+            self._delivery[out_port], (arrival, self._delivery_seq, packet)
+        )
+        self.forwarded += 1
+
+    # ----------------------------------------------------------- inventory
+    @property
+    def in_flight(self) -> int:
+        total = sum(u.in_flight for u in self._uplinks)
+        total += sum(q.queued_packets for q in self._queues)
+        total += sum(len(h) for h in self._delivery)
+        return total
+
+    @property
+    def frames_dropped(self) -> int:
+        return self.dropped
+
+    def describe(self) -> str:
+        config = self.config
+        return (
+            f"{self.num_hosts}-host switch: {config.buffer_bytes >> 10} KiB "
+            f"{config.partition} buffer, {config.queueing} queues, "
+            f"ecn@{config.ecn_threshold_bytes}"
+        )

@@ -130,9 +130,23 @@ def traffic_scenario_point(
         registry = MetricsRegistry()
         collect_scenario_result(registry, result)
     else:
-        engine = LoadEngine(sc, load_scale=load_scale, audit=audit)
+        from ..fabric.backend import get_backend
+
+        spec = get_backend(backend)
+        engine = LoadEngine(
+            sc,
+            load_scale=load_scale,
+            # The invariant monitor reads FtEngine internals; soft
+            # backends run unaudited.
+            audit=audit and spec.kind == "engine",
+            backend=spec.name,
+        )
         result = engine.run()
-        registry = collect_traced_run(engine.testbed, result)
+        if spec.kind == "engine":
+            registry = collect_traced_run(engine.testbed, result)
+        else:
+            registry = MetricsRegistry()
+            collect_scenario_result(registry, result)
     scalars: Dict[str, float] = {
         "offered": result.offered,
         "completed": result.completed,
@@ -173,6 +187,32 @@ def traffic_churn_point(
         "lifecycle_p99_ms": result.lifecycle_latencies.p99 * 1e3,
         "elapsed_s": result.elapsed_s,
     }
+
+
+# ------------------------------------------------- fabric: multi-host runs
+def fabric_point(
+    scenario: str,
+    backend: str = "f4t",
+    num_hosts: Optional[int] = None,
+    seed: Optional[int] = None,
+    load_scale: float = 1.0,
+    max_time_s: float = 0.25,
+) -> Dict[str, float]:
+    """One fabric scenario on one offload backend (``repro.fabric``).
+
+    Model-backed for the soft backends, engine-backed for ``f4t``; the
+    scalars are the sweep-table columns plus switch-side counters, so a
+    persisted grid row is one line of the backend comparison.
+    """
+    from ..fabric import get_fabric_scenario, run_fabric
+
+    sc = get_fabric_scenario(scenario, num_hosts=num_hosts, seed=seed)
+    result = run_fabric(
+        sc, backend=backend, load_scale=load_scale, max_time_s=max_time_s
+    )
+    scalars: Dict[str, float] = {"finished": int(result.finished)}
+    scalars.update(result.scalars())
+    return scalars
 
 
 # ---------------------------------------------- ablation: TCB cache sweep

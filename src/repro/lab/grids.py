@@ -109,6 +109,39 @@ def churn_rate_grid(quick: bool = False) -> ExperimentGrid:
     )
 
 
+# ------------------------------------------------------------- the fabric
+@register_grid("fabric-incast")
+def fabric_incast_grid(quick: bool = False) -> ExperimentGrid:
+    """Incast on the F4T backend across fan-in sizes (``repro.fabric``)."""
+    return ExperimentGrid(
+        name="fabric-incast",
+        driver="repro.lab.drivers:fabric_point",
+        domains={"num_hosts": [4] if quick else [4, 8, 12]},
+        base={"scenario": "incast", "backend": "f4t", "seed": 0},
+        description="N-1 responses collide at one egress port; goodput, "
+        "p99 and switch drops vs fan-in (model-backed switch)",
+    )
+
+
+@register_grid("fabric-backends")
+def fabric_backends_grid(quick: bool = False) -> ExperimentGrid:
+    """All four offload backends head-to-head on the incast fabric."""
+    from ..fabric import available_backends
+
+    return ExperimentGrid(
+        name="fabric-backends",
+        driver="repro.lab.drivers:fabric_point",
+        domains={"backend": list(available_backends())},
+        base={
+            "scenario": "incast",
+            "num_hosts": 4 if quick else 8,
+            "seed": 0,
+        },
+        description="f4t vs flextoe vs pno vs linux_stack on one incast "
+        "(f4t paper-backed, soft backends model-backed)",
+    )
+
+
 # ---------------------------------------------------------- the ablations
 @register_grid("ablation-coalescing")
 def ablation_coalescing_grid(quick: bool = False) -> ExperimentGrid:

@@ -34,14 +34,24 @@ def _if_enabled(bus: Optional[TraceBus], *layers: str) -> Optional[TraceBus]:
 def attach_engine(
     engine, bus: Optional[TraceBus], name: Optional[str] = None
 ) -> None:
-    """Point one FtEngine (and its submodules) at ``bus``; None detaches."""
+    """Point one engine (and its submodules) at ``bus``; None detaches.
+
+    Works on anything backend-shaped: an FtEngine gets its scheduler,
+    memory manager and FPCs wired individually; a soft backend (no such
+    submodules — ``repro.fabric.softstack``) just gets the top-level
+    ``trace``/``trace_name`` pair, on the ``fabric`` layer.
+    """
     label = name if name is not None else engine.name
+    scheduler = getattr(engine, "scheduler", None)
+    if scheduler is None:
+        engine.trace = _if_enabled(bus, "fabric")
+        engine.trace_name = label
+        return
     engine.trace = _if_enabled(
         bus, "engine.fpc", "engine.tx", "engine.rx", "engine.sched", "host"
     )
     engine.trace_name = label
     engine._trace_last_state = {}
-    scheduler = engine.scheduler
     scheduler.trace = _if_enabled(bus, "engine.sched")
     scheduler.trace_name = f"{label}/sched"
     manager = engine.memory_manager
@@ -88,7 +98,19 @@ def sample_occupancy(bus: TraceBus, testbed, t_ps: float) -> None:
     """
     for name, engine in (("a", testbed.engine_a), ("b", testbed.engine_b)):
         label = getattr(engine, "trace_name", name) or name
-        scheduler = engine.scheduler
+        scheduler = getattr(engine, "scheduler", None)
+        if scheduler is None:
+            # Soft backend: no scheduler/memmgr/FPC cross-section, but the
+            # host-message queue sample below still applies.
+            bus.emit(
+                t_ps, "host", f"{label}/hostq", "sample", -1,
+                {
+                    "messages": sum(
+                        len(queue) for queue in engine.host_messages.values()
+                    ),
+                },
+            )
+            continue
         bus.emit(
             t_ps, "engine.sched", f"{label}/sched", "sample", -1,
             {

@@ -41,6 +41,7 @@ ALL_LAYERS = frozenset(
         "engine.rx",     # parsed segments entering the engine
         "host",          # host runtime queues and completion messages
         "traffic",       # LoadEngine request lifecycle + samples
+        "fabric",        # soft backends, the switch, the fabric driver
     }
 )
 

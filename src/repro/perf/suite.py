@@ -175,8 +175,52 @@ class TrafficScenarioBenchmark(Benchmark):
         return fingerprint(bus.events)
 
 
+class FabricIncastBenchmark(Benchmark):
+    """Seeded multi-host incast through the shared-buffer switch.
+
+    Runs the ``incast`` fabric scenario on one backend end to end;
+    events = completed transfers.  ``fingerprint()`` re-runs with the
+    TraceBus attached — the fabric layer's determinism oracle, pinned
+    in BENCH_fabric.json.
+    """
+
+    events_unit = "transfers"
+
+    def __init__(
+        self, backend: str = "f4t", num_hosts: int = 8, seed: int = 1234
+    ) -> None:
+        self.name = f"fabric.incast.{backend}"
+        self.backend = backend
+        self.num_hosts = num_hosts
+        self.seed = seed
+        self._scenario = None
+        self._sim_time_s = 0.0
+
+    def setup(self) -> None:
+        from ..fabric import get_fabric_scenario
+
+        self._scenario = get_fabric_scenario(
+            "incast", num_hosts=self.num_hosts, seed=self.seed
+        )
+
+    def run(self) -> Tuple[int, float]:
+        from ..fabric import run_fabric
+
+        result = run_fabric(self._scenario, backend=self.backend)
+        self._sim_time_s = result.elapsed_s
+        return result.completed, result.elapsed_s
+
+    def fingerprint(self) -> Optional[str]:
+        from ..fabric import run_fabric
+        from ..obs.trace import TraceBus, fingerprint
+
+        bus = TraceBus(layers=["fabric"])
+        run_fabric(self._scenario, backend=self.backend, trace=bus)
+        return fingerprint(bus.events)
+
+
 _MICRO = ("kernel.step", "fpc.event", "scheduler.migrate")
-_MACRO = ("traffic.mixed", "traffic.churn")
+_MACRO = ("traffic.mixed", "traffic.churn", "fabric.incast.f4t")
 
 
 def available_benchmarks() -> List[str]:
@@ -198,6 +242,8 @@ def build_benchmarks(
             benches.append(SchedulerMigrateBenchmark(quick=quick))
         elif name.startswith("traffic."):
             benches.append(TrafficScenarioBenchmark(name.split(".", 1)[1]))
+        elif name.startswith("fabric.incast."):
+            benches.append(FabricIncastBenchmark(name.split(".", 2)[2]))
         else:
             raise KeyError(
                 f"unknown benchmark {name!r}; available: "

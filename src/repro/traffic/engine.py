@@ -251,11 +251,35 @@ class LoadEngine:
         load_scale: float = 1.0,
         audit: bool = False,
         audit_every_cycles: int = 4096,
+        backend: str = "f4t",
     ) -> None:
+        # Local import: repro.fabric composes on top of repro.traffic, so
+        # the backend registry cannot be imported at module load time.
+        from ..fabric.backend import get_backend
+
+        spec = get_backend(backend)
         self.scenario = scenario
         self.load_scale = load_scale
+        self.backend = spec.name
         if testbed is None:
-            testbed = Testbed(wire=scenario.build_wire())
+            if spec.kind == "engine":
+                testbed = Testbed(wire=scenario.build_wire())
+            else:
+                from ..fabric.backend import build_point_to_point
+
+                if audit:
+                    raise ValueError(
+                        "audit=True requires the f4t backend: the invariant "
+                        "monitor reads FtEngine internals that soft backends "
+                        f"do not have (got backend={spec.name!r})"
+                    )
+                imp = scenario.impairments
+                testbed = build_point_to_point(
+                    backend=spec.name,
+                    drop_probability=imp.drop_probability if imp else 0.0,
+                    reorder_probability=imp.reorder_probability if imp else 0.0,
+                    seed=scenario.seed,
+                )
         self.testbed = testbed
         self.audit = audit
         self.audit_every_cycles = audit_every_cycles
@@ -723,7 +747,7 @@ class LoadEngine:
         ]
         return ScenarioResult(
             scenario=self.scenario.name,
-            backend="functional",
+            backend=self.backend,
             seed=self.scenario.seed,
             load_scale=self.load_scale,
             elapsed_s=elapsed,
@@ -744,10 +768,15 @@ def run_scenario(
     setup_time_s: float = 0.5,
     run_time_s: Optional[float] = None,
     raise_on_incomplete: bool = False,
+    backend: str = "f4t",
 ) -> ScenarioResult:
     """One-call functional run of a scenario; see :class:`LoadEngine`."""
     engine = LoadEngine(
-        scenario, testbed=testbed, load_scale=load_scale, audit=audit
+        scenario,
+        testbed=testbed,
+        load_scale=load_scale,
+        audit=audit,
+        backend=backend,
     )
     return engine.run(
         setup_time_s=setup_time_s,

@@ -142,8 +142,9 @@ def sweep_load(
     """Run the scenario at each load scale and locate the latency knee.
 
     ``backend`` picks the calibrated model (fast — the default for
-    dense sweeps) or the functional two-engine testbed ("functional").
-    A custom ``run`` callable overrides both, for tests.
+    dense sweeps), the functional two-engine testbed ("functional"),
+    or any offload backend from ``repro.fabric`` ("f4t", "flextoe",
+    "pno", "linux_stack").  A custom ``run`` callable overrides all.
     """
     if run is None:
         if backend == "model":
@@ -151,7 +152,15 @@ def sweep_load(
         elif backend == "functional":
             run = lambda sc, ls: run_scenario(sc, load_scale=ls)
         else:
-            raise ValueError(f"unknown backend {backend!r}")
+            from ..fabric.backend import get_backend
+
+            try:
+                spec = get_backend(backend)
+            except KeyError:
+                raise ValueError(f"unknown backend {backend!r}") from None
+            run = lambda sc, ls: run_scenario(
+                sc, load_scale=ls, backend=spec.name
+            )
     points: List[SweepPoint] = []
     for load_scale in sorted(load_scales):
         result = run(scenario, load_scale)

@@ -1,0 +1,81 @@
+"""Fabric scenario presets and the multi-host engine."""
+
+import pytest
+
+from repro.fabric import (
+    available_fabric_scenarios,
+    get_fabric_scenario,
+    run_fabric,
+)
+
+
+class TestRegistry:
+    def test_presets_registered(self):
+        assert available_fabric_scenarios() == (
+            "flash_crowd",
+            "incast",
+            "outcast",
+            "zipf_fanout",
+        )
+
+    def test_unknown_scenario_raises_with_listing(self):
+        with pytest.raises(KeyError, match="incast"):
+            get_fabric_scenario("bisection")
+
+    def test_overrides_apply(self):
+        sc = get_fabric_scenario("incast", num_hosts=6, seed=99)
+        assert sc.num_hosts == 6
+        assert sc.seed == 99
+
+    def test_too_few_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            get_fabric_scenario("incast", num_hosts=1)
+
+
+class TestScenarioRuns:
+    """Each preset completes on a soft backend with plausible physics."""
+
+    def test_incast_finishes_and_counts(self):
+        result = run_fabric(
+            get_fabric_scenario("incast", num_hosts=4), backend="flextoe"
+        )
+        assert result.finished
+        assert result.completed == result.offered == 3 * 3  # rounds x (N-1)
+        assert result.goodput_gbps > 0
+        assert result.bytes_delivered == 9 * 128 * 1024 + 9 * 64
+
+    def test_outcast_is_one_way(self):
+        result = run_fabric(
+            get_fabric_scenario("outcast", num_hosts=4), backend="flextoe"
+        )
+        assert result.finished
+        assert result.completed == 9
+
+    def test_flash_crowd_open_loop(self):
+        result = run_fabric(
+            get_fabric_scenario("flash_crowd", num_hosts=4), backend="flextoe"
+        )
+        assert result.finished
+        assert result.offered > 0
+        assert result.completed == result.offered
+
+    def test_zipf_fanout_spreads_servers(self):
+        result = run_fabric(
+            get_fabric_scenario("zipf_fanout", num_hosts=4), backend="flextoe"
+        )
+        assert result.finished
+        assert result.completed == result.offered
+
+    def test_load_scale_scales_offered(self):
+        sc = get_fabric_scenario("flash_crowd", num_hosts=4)
+        light = run_fabric(sc, backend="flextoe", load_scale=0.5)
+        heavy = run_fabric(sc, backend="flextoe", load_scale=1.0)
+        assert light.offered < heavy.offered
+
+    def test_f4t_beats_linux_on_incast(self):
+        sc = get_fabric_scenario("incast", num_hosts=4)
+        f4t = run_fabric(sc, backend="f4t")
+        linux = run_fabric(sc, backend="linux_stack")
+        assert f4t.finished and linux.finished
+        assert f4t.goodput_gbps > linux.goodput_gbps
+        assert f4t.p99_s < linux.p99_s

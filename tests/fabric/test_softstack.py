@@ -1,0 +1,161 @@
+"""The soft TCP endpoint: handshake, data, loss recovery, teardown."""
+
+import pytest
+
+from repro.fabric.backend import build_point_to_point
+from repro.fabric.softstack import SoftStackConfig, SoftTestbed
+from repro.fabric.service import FlexToeService
+from repro.tcp.state_machine import TcpState
+
+
+def flextoe_testbed(**kwargs) -> SoftTestbed:
+    return SoftTestbed(lambda: FlexToeService(), **kwargs)
+
+
+def establish(tb: SoftTestbed):
+    tb.engine_b.listen(80)
+    a_flow = tb.engine_a.connect(tb.engine_b.ip, 80)
+    b_box = {}
+
+    def accepted() -> bool:
+        if b_box.get("flow") is None:
+            b_box["flow"] = tb.engine_b.accept(80)
+        return (
+            b_box.get("flow") is not None
+            and tb.engine_a.flow_state(a_flow) == TcpState.ESTABLISHED
+        )
+
+    assert tb.run(until=accepted, max_time_s=0.1)
+    return a_flow, b_box["flow"]
+
+
+class TestHandshakeAndData:
+    def test_connect_accept_established(self):
+        tb = flextoe_testbed()
+        a_flow, b_flow = establish(tb)
+        assert tb.engine_a.flow_state(a_flow) == TcpState.ESTABLISHED
+        assert tb.engine_b.flow_state(b_flow) == TcpState.ESTABLISHED
+
+    def test_bulk_byte_counts_arrive_exactly(self):
+        """SoftStack is byte-count functional: sequencing, windows and
+        delivery sizes are exact, payload contents are zeroed (only the
+        F4T engine carries real bytes)."""
+        tb = flextoe_testbed()
+        a_flow, b_flow = establish(tb)
+        total = 16 * 1024
+        sent = {"n": 0}
+        got = {"n": 0}
+
+        def pump() -> bool:
+            if sent["n"] < total:
+                sent["n"] += tb.engine_a.send_data(a_flow, bytes(total - sent["n"]))
+            readable = tb.engine_b.readable(b_flow)
+            if readable:
+                got["n"] += len(tb.engine_b.recv_data(b_flow, readable))
+            return got["n"] >= total
+
+        assert tb.run(until=pump, max_time_s=0.1)
+        assert got["n"] == total
+        assert tb.engine_b.readable(b_flow) == 0  # nothing phantom left
+
+    def test_send_respects_buffer_backpressure(self):
+        tb = flextoe_testbed(config=SoftStackConfig(send_buffer=4096))
+        a_flow, _ = establish(tb)
+        accepted = tb.engine_a.send_data(a_flow, bytes(1 << 16))
+        assert 0 < accepted <= 4096
+
+
+class TestLossRecovery:
+    def test_drops_are_retransmitted(self):
+        tb = flextoe_testbed(drop_probability=0.02, seed=7)
+        a_flow, b_flow = establish(tb)
+        payload = bytes(64 * 1024)
+        sent = {"n": 0}
+        got = {"n": 0}
+
+        def pump() -> bool:
+            if sent["n"] < len(payload):
+                sent["n"] += tb.engine_a.send_data(a_flow, payload[sent["n"]:])
+            readable = tb.engine_b.readable(b_flow)
+            if readable:
+                got["n"] += len(tb.engine_b.recv_data(b_flow, readable))
+            return got["n"] >= len(payload)
+
+        assert tb.run(until=pump, max_time_s=0.5)
+        assert tb.wire.frames_dropped > 0
+        assert tb.engine_a.retransmits > 0
+
+    def test_lossless_run_never_retransmits(self):
+        tb = flextoe_testbed()
+        a_flow, b_flow = establish(tb)
+        payload = bytes(128 * 1024)
+        sent = {"n": 0}
+        got = {"n": 0}
+
+        def pump() -> bool:
+            if sent["n"] < len(payload):
+                sent["n"] += tb.engine_a.send_data(a_flow, payload[sent["n"]:])
+            readable = tb.engine_b.readable(b_flow)
+            if readable:
+                got["n"] += len(tb.engine_b.recv_data(b_flow, readable))
+            return got["n"] >= len(payload)
+
+        assert tb.run(until=pump, max_time_s=0.5)
+        assert tb.engine_a.retransmits == 0
+        assert tb.engine_a.timeouts == 0
+
+
+class TestTeardown:
+    def test_close_posts_eof_and_frees_flows(self):
+        tb = flextoe_testbed()
+        a_flow, b_flow = establish(tb)
+        tb.engine_a.close_flow(a_flow)
+
+        def gone() -> bool:
+            readable = tb.engine_b.readable(b_flow)
+            if readable == 0 and any(
+                m.kind == "eof" and m.flow_id == b_flow
+                for q in tb.engine_b.host_messages.values()
+                for m in q
+            ):
+                tb.engine_b.close_flow(b_flow)
+            return (
+                a_flow not in tb.engine_a.flows
+                and b_flow not in tb.engine_b.flows
+            )
+
+        assert tb.run(until=gone, max_time_s=0.5)
+
+    def test_flow_slots_recycle(self):
+        tb = flextoe_testbed()
+        for _ in range(3):
+            a_flow, b_flow = establish(tb)
+            tb.engine_a.close_flow(a_flow)
+
+            def gone() -> bool:
+                if any(
+                    m.kind == "eof" and m.flow_id == b_flow
+                    for q in tb.engine_b.host_messages.values()
+                    for m in q
+                ):
+                    tb.engine_b.close_flow(b_flow)
+                return (
+                    a_flow not in tb.engine_a.flows
+                    and b_flow not in tb.engine_b.flows
+                )
+
+            assert tb.run(until=gone, max_time_s=0.5)
+
+
+class TestIntegerTime:
+    def test_all_clocks_are_integer_picoseconds(self):
+        tb = flextoe_testbed()
+        a_flow, b_flow = establish(tb)
+        assert isinstance(tb.time_ps, int)
+        assert isinstance(tb.engine_a.now_ps, int)
+        for flow in list(tb.engine_a.flows.values()):
+            assert isinstance(flow.rto_deadline_ps, int)
+
+    def test_backend_helper_rejects_reorder_for_soft(self):
+        with pytest.raises(ValueError):
+            build_point_to_point(backend="flextoe", reorder_probability=0.5)

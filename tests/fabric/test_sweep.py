@@ -1,0 +1,44 @@
+"""Backend head-to-head sweeps: the acceptance-criteria surface."""
+
+from repro.fabric import sweep_backends
+
+
+class TestSweep:
+    def test_incast_eight_hosts_all_backends(self):
+        """The PR's acceptance run: incast at N=8 across every backend,
+        every backend finishing, goodput ordered by offload depth."""
+        comparison = sweep_backends("incast", num_hosts=8, seed=42)
+        assert len(comparison.results) == 4
+        assert all(r.finished for r in comparison.results)
+        by_name = {r.backend: r for r in comparison.results}
+        assert (
+            by_name["f4t"].goodput_gbps
+            > by_name["pno"].goodput_gbps
+            > by_name["linux_stack"].goodput_gbps
+        )
+
+    def test_same_seed_same_csv(self):
+        first = sweep_backends(
+            "incast", backends=["f4t", "flextoe"], num_hosts=4, seed=7
+        )
+        second = sweep_backends(
+            "incast", backends=["f4t", "flextoe"], num_hosts=4, seed=7
+        )
+        assert first.to_csv() == second.to_csv()
+
+    def test_table_carries_provenance(self):
+        comparison = sweep_backends(
+            "incast", backends=["f4t", "linux_stack"], num_hosts=4
+        )
+        table = comparison.table()
+        assert "paper-backed" in table
+        assert "calibrated" in table
+
+    def test_csv_header_shape(self):
+        comparison = sweep_backends(
+            "incast", backends=["flextoe"], num_hosts=4
+        )
+        header = comparison.to_csv().splitlines()[0]
+        assert header.startswith("scenario,num_hosts,seed,load_scale,backend")
+        for column in ("goodput_gbps", "p99_us", "retransmits", "switch_drops"):
+            assert column in header

@@ -168,7 +168,8 @@ class TestSuite:
     def test_available_names(self):
         names = available_benchmarks()
         assert {"kernel.step", "fpc.event", "scheduler.migrate",
-                "traffic.mixed", "traffic.churn"} == set(names)
+                "traffic.mixed", "traffic.churn",
+                "fabric.incast.f4t"} == set(names)
 
     def test_unknown_name_rejected(self):
         with pytest.raises(KeyError):

@@ -25,8 +25,10 @@ GOLDEN = {
 }
 
 
-def traced_fingerprint(scenario: str, sweep: bool = False) -> str:
-    load_engine = LoadEngine(get_scenario(scenario, seed=1234))
+def traced_fingerprint(
+    scenario: str, sweep: bool = False, backend: str = "f4t"
+) -> str:
+    load_engine = LoadEngine(get_scenario(scenario, seed=1234), backend=backend)
     load_engine.sweep_all_pumps = sweep
     bus = TraceBus()
     attach_load_engine(load_engine, bus)
@@ -46,6 +48,14 @@ class TestCycleExactEquivalence:
         it must land on the same trace, proving the dirty-set skips only
         side-effect-free polls."""
         assert traced_fingerprint("mixed", sweep=True) == GOLDEN["mixed"]
+
+    def test_f4t_behind_backend_interface_matches_golden(self):
+        """PR 6 put the engine behind ``repro.fabric``'s OffloadBackend
+        registry; selecting it explicitly (and via its legacy alias)
+        must reproduce the pinned trace bit for bit — the refactor moved
+        construction, not behaviour."""
+        assert traced_fingerprint("mixed", backend="f4t") == GOLDEN["mixed"]
+        assert traced_fingerprint("churn", backend="functional") == GOLDEN["churn"]
 
 
 class TestDirtySetBookkeeping:
