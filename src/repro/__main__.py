@@ -11,6 +11,7 @@ Subcommands::
     python -m repro check all         # static analyzer + race sanitizer
     python -m repro perf run          # benchmark suite -> BENCH_perf.json
     python -m repro fabric sweep ...  # backend head-to-head over a fabric
+    python -m repro shard run ...     # sharded multi-process simulation
 """
 
 from __future__ import annotations
@@ -445,11 +446,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.fabric.cli import add_fabric_parser, main as fabric_main
     from repro.obs.cli import add_obs_parser, main as obs_main
     from repro.perf.cli import add_perf_parser, main as perf_main
+    from repro.shard.cli import add_shard_parser, main as shard_main
 
     add_obs_parser(subparsers)
     add_check_parser(subparsers)
     add_perf_parser(subparsers)
     add_fabric_parser(subparsers)
+    add_shard_parser(subparsers)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -463,6 +466,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": check_main,
         "perf": perf_main,
         "fabric": fabric_main,
+        "shard": shard_main,
     }
     if args.command is None:
         parser.print_help()

@@ -32,7 +32,7 @@ from .findings import Finding
 #: Layers (packages directly under ``repro``) that run inside the
 #: simulated clock domain and must be deterministic given the seed.
 SIM_LAYERS = frozenset(
-    {"sim", "engine", "tcp", "net", "traffic", "refsim", "fabric"}
+    {"sim", "engine", "tcp", "net", "traffic", "refsim", "fabric", "shard"}
 )
 
 #: ``random`` module functions that draw from the shared global RNG.
@@ -462,7 +462,7 @@ class FloatPsStateRule(LintRule):
         "keep physical/calibrated float constants in the exempted modules"
     )
     #: Only the clocked layers carry kernel time; hosts/analysis are free.
-    layers = frozenset({"sim", "engine", "fabric"})
+    layers = frozenset({"sim", "engine", "fabric", "shard"})
     #: Calibrated physical-latency models legitimately hold fractional
     #: picoseconds (e.g. DRAM occupancy = bytes / bandwidth).
     exempt_suffixes = (

@@ -173,6 +173,7 @@ class FabricLoadEngine:
                 service=self.spec.service(**service_overrides),
                 config=soft_config,
                 name=f"h{i}",
+                seed=scenario.seed,
             )
             for i in range(scenario.num_hosts)
         ]

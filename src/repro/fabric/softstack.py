@@ -55,6 +55,11 @@ class SoftStackConfig:
     rto_ps: int = 50_000_000
     #: Handshake (SYN/SYN-ACK) retransmit interval (int ps).
     handshake_rto_ps: int = 50_000_000
+    #: ECN response hold-off (int ps): after halving on an echoed CE
+    #: mark, further echoes are ignored for this long (plus a seeded
+    #: jitter of up to 1/8th), so one congestion round trip maps to one
+    #: multiplicative decrease rather than a collapse to the floor.
+    ecn_recovery_ps: int = 10_000_000
 
 
 class FabricPacket:
@@ -103,7 +108,8 @@ class _SoftFlow:
         # transmit side (cumulative byte offsets from 0)
         "app_written", "flow_acked", "next_to_send",
         "cwnd", "ssthresh", "peer_window", "dup_acks", "recover_mark",
-        "ece_mark", "rto_deadline_ps", "rto_backoff",
+        "ecn_hold_until_ps", "rto_deadline_ps", "rto_backoff",
+        "timer_armed_ps",
         "fin_queued", "fin_sent", "fin_acked",
         # receive side
         "contiguous", "delivered", "ooo", "peer_fin_at", "ce_pending",
@@ -129,9 +135,10 @@ class _SoftFlow:
         self.peer_window = config.recv_buffer
         self.dup_acks = 0
         self.recover_mark = 0
-        self.ece_mark = 0
+        self.ecn_hold_until_ps = 0
         self.rto_deadline_ps = 0          # 0 = timer off
         self.rto_backoff = 0
+        self.timer_armed_ps = 0           # earliest heap entry, 0 = none
         self.fin_queued = False
         self.fin_sent = False
         self.fin_acked = False
@@ -274,6 +281,7 @@ class SoftStack:
         service: ServiceModel,
         config: Optional[SoftStackConfig] = None,
         name: str = "soft",
+        seed: int = 0,
     ) -> None:
         self.ip = ip
         self.port = port
@@ -281,7 +289,15 @@ class SoftStack:
         self.config = config or SoftStackConfig()
         self.name = name
         self.now_ps = 0  # the driving loop sets this before tick()
+        #: The only RNG: seeded jitter on the ECN recovery hold-off,
+        #: derived per host name so every stack draws its own stream.
+        self._ecn_rng = random.Random(derive_seed(seed, f"ecn/{name}"))
         self.flows: Dict[int, _SoftFlow] = {}
+        #: Lazy (deadline_ps, flow_id) min-heap over hs/rto deadlines;
+        #: see ``_arm``.  Keeps ``next_wakeup_ps``/``_expire_timers``
+        #: O(log n) instead of O(flows) — the difference between a
+        #: 2-host testbed and a million-flow shard cell.
+        self._timers: List[Tuple[int, int]] = []
         self.host_messages: Dict[int, Deque[EngineMessage]] = {0: deque()}
         self._listening: Set[int] = set()
         self._accept_queues: Dict[int, Deque[int]] = {}
@@ -334,6 +350,27 @@ class SoftStack:
         free = self.config.recv_buffer - used
         return free if free > 0 else 0
 
+    def _arm(self, flow: _SoftFlow) -> None:
+        """Index the flow's earliest live deadline in the timer heap.
+
+        Lazy discipline: at most one *tracked* entry per flow (its
+        earliest pushed instant, ``timer_armed_ps``).  Re-arming later
+        than the tracked entry pushes nothing — the stale entry pops at
+        its old instant, finds nothing due, and re-indexes at the true
+        deadline.  So arming stays O(log n) and the heap stays
+        proportional to the flow count, not the ack count.
+        """
+        hs, rto = flow.hs_deadline_ps, flow.rto_deadline_ps
+        if hs and rto:
+            deadline = hs if hs < rto else rto
+        else:
+            deadline = hs or rto
+        if deadline <= 0:
+            return
+        if flow.timer_armed_ps == 0 or deadline < flow.timer_armed_ps:
+            flow.timer_armed_ps = deadline
+            heapq.heappush(self._timers, (deadline, flow.flow_id))
+
     # ----------------------------------------------------- host-facing API
     def listen(self, port: int) -> None:
         self._listening.add(port)
@@ -352,6 +389,7 @@ class SoftStack:
         self._by_key[key] = flow_id
         at = self._send_segment(flow, FabricPacket("syn", key))
         flow.hs_deadline_ps = at + self.config.handshake_rto_ps
+        self._arm(flow)
         return flow_id
 
     def accept(self, port: int, thread_id: int = 0) -> Optional[int]:
@@ -418,12 +456,27 @@ class SoftStack:
         )
 
     def next_wakeup_ps(self) -> Optional[int]:
-        deadline: Optional[int] = None
-        for flow in self.flows.values():
-            for candidate in (flow.rto_deadline_ps, flow.hs_deadline_ps):
-                if candidate and (deadline is None or candidate < deadline):
-                    deadline = candidate
-        return deadline
+        timers = self._timers
+        while timers:
+            deadline, flow_id = timers[0]
+            flow = self.flows.get(flow_id)
+            actual = 0
+            if flow is not None:
+                hs, rto = flow.hs_deadline_ps, flow.rto_deadline_ps
+                if hs and rto:
+                    actual = hs if hs < rto else rto
+                else:
+                    actual = hs or rto
+            if actual == deadline:
+                return deadline
+            # Dead flow or superseded deadline: drop the entry and, if
+            # the flow still has a live deadline, re-index it there.
+            heapq.heappop(timers)
+            if flow is not None:
+                if flow.timer_armed_ps == deadline:
+                    flow.timer_armed_ps = 0
+                self._arm(flow)
+        return None
 
     def tick(self) -> None:
         now = self.now_ps
@@ -470,6 +523,7 @@ class SoftStack:
             flow.rto_deadline_ps = last_at + (
                 config.rto_ps << flow.rto_backoff
             )
+            self._arm(flow)
 
     def _retransmit_from(self, flow: _SoftFlow, go_back: bool) -> None:
         """Resend from the cumulative ack point (one MSS, or go-back-N)."""
@@ -502,7 +556,14 @@ class SoftStack:
             )
 
     def _expire_timers(self, now: int) -> None:
-        for flow in list(self.flows.values()):
+        timers = self._timers
+        while timers and timers[0][0] <= now:
+            deadline, flow_id = heapq.heappop(timers)
+            flow = self.flows.get(flow_id)
+            if flow is None:
+                continue
+            if flow.timer_armed_ps == deadline:
+                flow.timer_armed_ps = 0
             if flow.hs_deadline_ps and now >= flow.hs_deadline_ps:
                 if flow.state is TcpState.SYN_SENT:
                     at = self._send_segment(flow, FabricPacket("syn", flow.key))
@@ -521,18 +582,19 @@ class SoftStack:
                 )
                 if not outstanding:
                     flow.rto_deadline_ps = 0
-                    continue
-                self.timeouts += 1
-                flight = flow.next_to_send - flow.flow_acked
-                half = flight // 2
-                flow.ssthresh = max(half, 2 * self.config.mss)
-                flow.cwnd = self.config.mss
-                if flow.rto_backoff < 6:
-                    flow.rto_backoff += 1
-                flow.rto_deadline_ps = now + (
-                    self.config.rto_ps << flow.rto_backoff
-                )
-                self._retransmit_from(flow, go_back=True)
+                else:
+                    self.timeouts += 1
+                    flight = flow.next_to_send - flow.flow_acked
+                    half = flight // 2
+                    flow.ssthresh = max(half, 2 * self.config.mss)
+                    flow.cwnd = self.config.mss
+                    if flow.rto_backoff < 6:
+                        flow.rto_backoff += 1
+                    flow.rto_deadline_ps = now + (
+                        self.config.rto_ps << flow.rto_backoff
+                    )
+                    self._retransmit_from(flow, go_back=True)
+            self._arm(flow)
 
     # ------------------------------------------------------------- receive
     def _receive(self, packet: FabricPacket, now: int) -> None:
@@ -591,6 +653,7 @@ class SoftStack:
             self._by_key[key] = flow_id
         at = self._send_segment(flow, FabricPacket("synack", flow.key))
         flow.hs_deadline_ps = at + self.config.handshake_rto_ps
+        self._arm(flow)
 
     def _on_synack(self, flow: _SoftFlow) -> None:
         if flow.state is not TcpState.SYN_SENT:
@@ -661,12 +724,18 @@ class SoftStack:
     def _on_ack(self, flow: _SoftFlow, packet: FabricPacket, now: int) -> None:
         config = self.config
         flow.peer_window = max(packet.window, config.mss)
-        if packet.ece and flow.flow_acked >= flow.ece_mark:
-            # One multiplicative decrease per window of ECN echo.
+        if packet.ece and now >= flow.ecn_hold_until_ps:
+            # One multiplicative decrease per congestion round trip:
+            # halve, then hold off for a seeded recovery interval so a
+            # burst of echoed marks maps to one response, and the
+            # jitter desynchronizes the senders of an incast instead
+            # of letting them all re-open their windows in lockstep.
             half = flow.cwnd // 2
             flow.cwnd = max(config.mss, half)
             flow.ssthresh = flow.cwnd
-            flow.ece_mark = flow.next_to_send
+            hold = config.ecn_recovery_ps
+            hold += self._ecn_rng.randrange(hold // 8 + 1)
+            flow.ecn_hold_until_ps = now + hold
             self.ecn_echoes += 1
         fin_point = flow.app_written + 1 if flow.fin_sent else -1
         if packet.ack_to == fin_point and not flow.fin_acked:
@@ -686,6 +755,8 @@ class SoftStack:
             flow.rto_deadline_ps = (
                 now + config.rto_ps if outstanding else 0
             )
+            if outstanding:
+                self._arm(flow)
             if flow.next_to_send < flow.flow_acked:
                 flow.next_to_send = flow.flow_acked
             # Congestion window growth: slow start, then ~MSS per RTT.
@@ -760,11 +831,11 @@ class SoftTestbed:
         self.backend = backend
         self.engine_a = SoftStack(
             ip_from_string("10.0.0.1"), self.wire.port_a, service_factory(),
-            config=config, name="a",
+            config=config, name="a", seed=seed,
         )
         self.engine_b = SoftStack(
             ip_from_string("10.0.0.2"), self.wire.port_b, service_factory(),
-            config=config, name="b",
+            config=config, name="b", seed=seed,
         )
         self.time_ps = 0
 

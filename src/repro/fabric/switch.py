@@ -340,3 +340,182 @@ class SwitchFabric:
             f"{config.partition} buffer, {config.queueing} queues, "
             f"ecn@{config.ecn_threshold_bytes}"
         )
+
+
+# ---------------------------------------------------------------- sharding
+class CellSwitch:
+    """The slice of the output-queued switch owned by one shard cell.
+
+    ``repro.shard`` decomposes :class:`SwitchFabric` by ownership: a
+    cell owns its hosts' *uplinks* (sender-side queueing + serialization
+    are computed locally at send time, so the switch-arrival instant of
+    every outbound packet is known before it crosses a cell boundary)
+    and its hosts' *output queues + egress serializers* (receiver-side
+    contention is resolved locally at admission time).  Nothing else of
+    the switch exists, which is exactly why only ``static`` buffer
+    partitioning (a hard per-port slice) and ``fifo`` queueing
+    decompose: ``shared``/``dynamic`` couple every port through the
+    global ``buffer_used``, and DRR's pop-time deficit rotation needs
+    ingress state from all sources at once.
+
+    Admissions MUST be fed in nondecreasing ``(arrival_ps, src, seq)``
+    order — the shard worker's event loop guarantees that — so depth
+    accounting can retire served packets lazily and stay exact.
+    """
+
+    def __init__(
+        self,
+        hosts: List[int],
+        num_hosts: int,
+        config: Optional[SwitchConfig] = None,
+    ) -> None:
+        config = config or SwitchConfig(partition="static")
+        config.validate()
+        if config.partition != "static":
+            raise ValueError(
+                f"cell switches require partition='static' (a per-port "
+                f"buffer slice is the only locally decidable admission "
+                f"policy), got {config.partition!r}"
+            )
+        if config.queueing != "fifo":
+            raise ValueError(
+                f"cell switches require queueing='fifo', got "
+                f"{config.queueing!r}"
+            )
+        self.config = config
+        self.hosts = list(hosts)
+        self.num_hosts = num_hosts
+        link = config.link
+        self._bits_per_s = int(link.bandwidth_gbps * 1e9)
+        self.prop_ps = int(link.propagation_delay_us * 10**6)
+        self.port_limit = config.buffer_bytes // num_hosts
+        #: Sender side, per owned host: uplink serializer free instant
+        #: and the per-source sequence that makes exchange keys unique.
+        self._uplink_free: Dict[int, int] = {h: 0 for h in hosts}
+        self._uplink_seq: Dict[int, int] = {h: 0 for h in hosts}
+        #: Receiver side, per owned host: egress free instant, queued
+        #: depth, and the (serve_start_ps, wire_bytes) retirement queue.
+        self._egress_free: Dict[int, int] = {h: 0 for h in hosts}
+        self._depth: Dict[int, int] = {h: 0 for h in hosts}
+        self._serving: Dict[int, Deque[Tuple[int, int]]] = {
+            h: deque() for h in hosts
+        }
+        #: Per owned host: (delivery_ps, seq, packet) min-heaps.
+        self._delivery: Dict[int, List[Tuple[int, int, FabricPacket]]] = {
+            h: [] for h in hosts
+        }
+        self._delivery_seq = 0
+        # Counters (all deterministic; merged into the shard result).
+        self.forwarded = 0
+        self.dropped = 0
+        self.ecn_marked = 0
+        self.bytes_sent = 0
+
+    def host_ip(self, index: int) -> int:
+        return _BASE_IP + index
+
+    def host_of_ip(self, ip: int) -> Optional[int]:
+        index = ip - _BASE_IP
+        return index if 0 <= index < self.num_hosts else None
+
+    def serialization_ps(self, wire_bytes: int) -> int:
+        return wire_bytes * 8 * 10**12 // self._bits_per_s
+
+    # ---------------------------------------------------------- sender side
+    def send_from(
+        self, src: int, packet: FabricPacket, at_ps: int
+    ) -> Tuple[int, int]:
+        """Run one packet through ``src``'s uplink; returns its
+        ``(switch_arrival_ps, seq)`` exchange key."""
+        free = self._uplink_free[src]
+        start = at_ps if at_ps > free else free
+        done = start + self.serialization_ps(packet.wire_bytes)
+        self._uplink_free[src] = done
+        self._uplink_seq[src] += 1
+        self.bytes_sent += packet.wire_bytes
+        return done + self.prop_ps, self._uplink_seq[src]
+
+    # -------------------------------------------------------- receiver side
+    def admit(self, packet: FabricPacket, now_ps: int) -> None:
+        """Admit one packet arriving at the switch at ``now_ps``."""
+        out_port = self.host_of_ip(packet.key.dst_ip)
+        if out_port is None or out_port not in self._depth:
+            self.dropped += 1  # not ours: blackholed (mis-routed)
+            return
+        serving = self._serving[out_port]
+        while serving and serving[0][0] <= now_ps:
+            self._depth[out_port] -= serving.popleft()[1]
+        wire_bytes = packet.wire_bytes
+        depth = self._depth[out_port]
+        if depth + wire_bytes > self.port_limit:
+            self.dropped += 1
+            return
+        threshold = self.config.ecn_threshold_bytes
+        if threshold > 0 and depth + wire_bytes > threshold:
+            packet.ce = True
+            self.ecn_marked += 1
+        free = self._egress_free[out_port]
+        start = now_ps if now_ps > free else free
+        done = start + self.serialization_ps(wire_bytes)
+        self._egress_free[out_port] = done
+        self._depth[out_port] = depth + wire_bytes
+        serving.append((start, wire_bytes))
+        self._delivery_seq += 1
+        heapq.heappush(
+            self._delivery[out_port],
+            (done + self.prop_ps, self._delivery_seq, packet),
+        )
+        self.forwarded += 1
+
+    # ------------------------------------------------------------ the ports
+    def deliver_due(self, host: int, now_ps: int) -> List[FabricPacket]:
+        heap = self._delivery[host]
+        due: List[FabricPacket] = []
+        while heap and heap[0][0] <= now_ps:
+            due.append(heapq.heappop(heap)[2])
+        return due
+
+    def next_delivery_ps(self, host: int) -> Optional[int]:
+        heap = self._delivery[host]
+        return heap[0][0] if heap else None
+
+    def next_any_delivery_ps(self) -> Optional[int]:
+        best: Optional[int] = None
+        for heap in self._delivery.values():
+            if heap and (best is None or heap[0][0] < best):
+                best = heap[0][0]
+        return best
+
+    def port(self, host: int, outbound) -> "ShardPort":
+        return ShardPort(self, host, outbound)
+
+
+class ShardPort:
+    """One host's NIC-side handle inside a shard cell (SoftPort-shaped).
+
+    Outbound packets run through the cell switch's sender-side timing
+    and are handed to ``outbound(arrival_ps, src, seq, packet)`` — the
+    shard worker's router, which either feeds a local admission or
+    ships the packet to the destination cell at the next epoch barrier.
+    Inbound packets come from the cell switch's delivery heaps exactly
+    like :class:`_FabricPort` does it.
+    """
+
+    def __init__(self, switch: CellSwitch, host: int, outbound) -> None:
+        self._switch = switch
+        self._host = host
+        self._outbound = outbound
+
+    def send(self, packet: FabricPacket, now_ps: int) -> None:
+        arrival, seq = self._switch.send_from(self._host, packet, now_ps)
+        self._outbound(arrival, self._host, seq, packet)
+
+    def poll(self, now_ps: int) -> List[FabricPacket]:
+        return self._switch.deliver_due(self._host, now_ps)
+
+    def next_arrival_ps(self) -> Optional[int]:
+        return self._switch.next_delivery_ps(self._host)
+
+    @property
+    def pending(self) -> int:
+        return len(self._switch._delivery[self._host])

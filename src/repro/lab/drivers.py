@@ -215,6 +215,42 @@ def fabric_point(
     return scalars
 
 
+# -------------------------------------------- shard: multi-process cells
+def shard_point(
+    scenario: str = "churn",
+    workers: int = 1,
+    seed: Optional[int] = None,
+    dry: bool = False,
+) -> Dict[str, float]:
+    """One sharded lockstep run (``repro.shard``) at one worker count.
+
+    ``fingerprint_prefix`` is the first 12 hex digits of the merged
+    trace digest packed into a float-safe integer — rows of a
+    worker-count sweep must all carry the same value (the lab-table
+    form of ``repro shard sweep``'s determinism check).
+    """
+    from ..shard import get_shard_scenario, run_shard
+
+    sc = get_shard_scenario(scenario, seed=seed)
+    if dry:
+        sc = sc.scaled(128)
+    result = run_shard(sc, workers=workers, fingerprint=True)
+    scalars: Dict[str, float] = {
+        "finished": int(result.finished),
+        "epochs": result.epochs,
+        "peak_concurrent": result.peak_concurrent,
+        "elapsed_s": result.elapsed_s,
+        "max_worker_rss_kb": result.max_worker_rss_kb,
+        "conns_established": result.total("conns_established"),
+        "txns_completed": result.total("txns_completed"),
+        "dropped": result.total("dropped"),
+        "retransmits": result.total("retransmits"),
+    }
+    if result.fingerprint:
+        scalars["fingerprint_prefix"] = int(result.fingerprint[:12], 16)
+    return scalars
+
+
 # ---------------------------------------------- ablation: TCB cache sweep
 def ablation_tcb_cache_point(
     cache_entries: int,

@@ -142,6 +142,24 @@ def fabric_backends_grid(quick: bool = False) -> ExperimentGrid:
     )
 
 
+@register_grid("shard-workers")
+def shard_workers_grid(quick: bool = False) -> ExperimentGrid:
+    """The churn shard at 1/2/4 workers (``repro.shard``).
+
+    Every row must land on the same ``fingerprint_prefix`` — the grid
+    is the persisted form of ``repro shard sweep``'s worker-count
+    determinism check, with wall time and RSS alongside.
+    """
+    return ExperimentGrid(
+        name="shard-workers",
+        driver="repro.lab.drivers:shard_point",
+        domains={"workers": [1, 2] if quick else [1, 2, 4]},
+        base={"scenario": "churn", "seed": 0},
+        description="merged fingerprint is worker-count invariant; "
+        "wall time and per-worker RSS vs process count",
+    )
+
+
 # ---------------------------------------------------------- the ablations
 @register_grid("ablation-coalescing")
 def ablation_coalescing_grid(quick: bool = False) -> ExperimentGrid:

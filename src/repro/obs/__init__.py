@@ -51,10 +51,12 @@ from .trace import (
     ALL_LAYERS,
     DEFAULT_MAX_EVENTS,
     ENGINE_LAYERS,
+    StreamingFingerprint,
     TraceBus,
     TraceEvent,
     expand_layers,
     fingerprint,
+    merge_fingerprints,
 )
 
 __all__ = [
@@ -66,6 +68,7 @@ __all__ = [
     "HistogramMetric",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "StreamingFingerprint",
     "TraceBus",
     "TraceEvent",
     "attach_engine",
@@ -82,6 +85,7 @@ __all__ = [
     "flow_ids_in",
     "format_labels",
     "load_chrome_trace",
+    "merge_fingerprints",
     "parse_labels",
     "render_flow_timeline",
     "render_summary",

@@ -42,6 +42,7 @@ ALL_LAYERS = frozenset(
         "host",          # host runtime queues and completion messages
         "traffic",       # LoadEngine request lifecycle + samples
         "fabric",        # soft backends, the switch, the fabric driver
+        "shard",         # sharded runs: cell drivers, epoch barriers
     }
 )
 
@@ -200,5 +201,61 @@ def fingerprint(events: Sequence[TraceEvent]) -> str:
     digest = hashlib.sha256()
     for event in events:
         digest.update(event.normalized().encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class StreamingFingerprint:
+    """A trace sink that hashes every event instead of keeping any.
+
+    Duck-types the ``TraceBus.emit`` surface, so anything holding a
+    ``trace`` attribute can be pointed at one.  Unlike the bus there is
+    no event cap: the digest covers the *whole* stream at O(1) memory,
+    which is what sharded million-flow runs need — the events of one
+    cell never fit in RAM, but their hash does.  ``hexdigest()`` equals
+    ``fingerprint(events)`` over the same stream, so streamed and
+    buffered fingerprints are interchangeable.
+    """
+
+    def __init__(self, layers: Optional[Iterable[str]] = None) -> None:
+        self.layers = None if layers is None else expand_layers(layers)
+        self._digest = hashlib.sha256()
+        self.emitted = 0
+
+    def emit(
+        self,
+        t_ps: float,
+        layer: str,
+        component: str,
+        kind: str,
+        flow_id: int = -1,
+        detail: Any = "",
+        dur_ps: float = 0.0,
+    ) -> None:
+        if self.layers is not None and layer not in self.layers:
+            return
+        self.emitted += 1
+        event = TraceEvent(t_ps, layer, component, kind, flow_id, detail, dur_ps)
+        self._digest.update(event.normalized().encode())
+        self._digest.update(b"\n")
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+
+def merge_fingerprints(parts: Sequence[str]) -> str:
+    """Combine per-cell fingerprints into one deterministic run digest.
+
+    The merge hashes ``index|part`` lines in cell order, so it is
+    sensitive to both each cell's stream and the cell layout — but NOT
+    to how cells were packed onto worker processes.  That is the shard
+    determinism contract: the merged fingerprint of a run is a pure
+    function of (scenario, seed, cell count), never of worker count.
+    """
+    if not parts:
+        raise ValueError("merge_fingerprints needs at least one part")
+    digest = hashlib.sha256()
+    for index, part in enumerate(parts):
+        digest.update(f"{index}|{part}".encode())
         digest.update(b"\n")
     return digest.hexdigest()

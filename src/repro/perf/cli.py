@@ -75,9 +75,19 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     try:
-        old = load_payload(args.old)
         new = load_payload(args.new)
     except (OSError, ValueError) as exc:
+        raise SystemExit(f"perf: {exc}")
+    try:
+        old = load_payload(args.old)
+    except OSError:
+        # First run on a fresh checkout / CI cache: nothing to diff
+        # against yet.  Seed the baseline from the candidate and
+        # succeed — the next compare has something to hold it to.
+        write_payload(new, args.old)
+        print(f"no baseline at {args.old}; recording candidate as baseline")
+        return 0
+    except ValueError as exc:
         raise SystemExit(f"perf: {exc}")
     regressions = compare_payloads(old, new, threshold=args.threshold)
     old_rows = {row["name"]: row for row in old["benchmarks"]}

@@ -219,8 +219,45 @@ class FabricIncastBenchmark(Benchmark):
         return fingerprint(bus.events)
 
 
+class ShardChurnBenchmark(Benchmark):
+    """Full in-process sharded churn run (4 cells, lockstep epochs).
+
+    Events = wire packets forwarded across the cell switches.
+    ``fingerprint()`` is the merged per-cell trace digest — the same
+    value ``repro shard sweep`` pins across worker counts, so the
+    BENCH file doubles as the shard layer's determinism oracle.
+    """
+
+    name = "shard.churn"
+    events_unit = "packets"
+
+    def __init__(self, seed: int = 1234) -> None:
+        self.seed = seed
+        self._scenario = None
+        self._sim_time_s = 0.0
+
+    def setup(self) -> None:
+        from ..shard import get_shard_scenario
+
+        self._scenario = get_shard_scenario("churn", seed=self.seed)
+
+    def run(self) -> Tuple[int, float]:
+        from ..shard import run_shard
+
+        result = run_shard(self._scenario, workers=1, fingerprint=False)
+        self._sim_time_s = result.epochs * result.epoch_ps * 1e-12
+        return result.total("forwarded"), self._sim_time_s
+
+    def fingerprint(self) -> Optional[str]:
+        from ..shard import run_shard
+
+        return run_shard(
+            self._scenario, workers=1, fingerprint=True
+        ).fingerprint
+
+
 _MICRO = ("kernel.step", "fpc.event", "scheduler.migrate")
-_MACRO = ("traffic.mixed", "traffic.churn", "fabric.incast.f4t")
+_MACRO = ("traffic.mixed", "traffic.churn", "fabric.incast.f4t", "shard.churn")
 
 
 def available_benchmarks() -> List[str]:
@@ -244,6 +281,8 @@ def build_benchmarks(
             benches.append(TrafficScenarioBenchmark(name.split(".", 1)[1]))
         elif name.startswith("fabric.incast."):
             benches.append(FabricIncastBenchmark(name.split(".", 2)[2]))
+        elif name == "shard.churn":
+            benches.append(ShardChurnBenchmark())
         else:
             raise KeyError(
                 f"unknown benchmark {name!r}; available: "

@@ -346,6 +346,47 @@ class Simulator:
             self.time_ps = target
         return True
 
+    def run_until_time_ps(self, deadline_ps: int) -> None:
+        """Tick every edge strictly before ``deadline_ps``, in order.
+
+        On return every domain sits on its last edge before the
+        deadline, so the very next :meth:`step` crosses the first edge
+        at or after it — the same landing contract as a scheduled
+        wakeup.  This is the primitive sharded runs slice time with:
+        a bounded window of simulation with an exact, replayable stop.
+        """
+        while True:
+            best = self._earliest_domain()
+            if best.edge_ps(best.cycle + 1) >= deadline_ps:
+                return
+            self.step()
+
+    def run_lockstep(
+        self,
+        epoch_ps: int,
+        barrier: Callable[[int, int], None],
+        epochs: int,
+    ) -> None:
+        """Advance in fixed epochs, calling ``barrier`` between them.
+
+        Epoch ``e`` simulates every edge in ``[e*epoch_ps,
+        (e+1)*epoch_ps)`` and then calls ``barrier(e, boundary_ps)`` —
+        the hook a sharded run uses to exchange cross-shard traffic
+        while all shards sit at the same boundary.  Slicing is
+        cycle-exact: the edges ticked (and their order) are identical
+        to an unsliced run, because epochs only bound *when* the loop
+        pauses, never which edge comes next.  Epochs are measured from
+        the current time, so a partially-advanced simulator locksteps
+        from where it is.
+        """
+        if epoch_ps <= 0:
+            raise ValueError(f"epoch_ps must be positive, got {epoch_ps}")
+        origin = self.time_ps
+        for epoch in range(epochs):
+            boundary = origin + (epoch + 1) * epoch_ps
+            self.run_until_time_ps(boundary)
+            barrier(epoch, boundary)
+
     def reset(self) -> None:
         self.time_ps = 0
         self._wakeups.clear()

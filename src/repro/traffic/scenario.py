@@ -165,6 +165,26 @@ class Scenario:
         requests.sort(key=lambda r: (r.time_s, r.cls))
         return [replace(r, index=i) for i, r in enumerate(requests)]
 
+    def split(self, cells: Optional[int] = None) -> List["Scenario"]:
+        """Partition the classes into shard cells (``repro.shard``).
+
+        Every sub-scenario keeps the parent's ``name`` and ``seed``, so
+        each class's per-stream RNGs (``class_rng`` derives them from
+        ``seed + name/class/stream``) are bit-identical to the unsplit
+        run — splitting changes which testbed a class runs on, never
+        what traffic it offers.  Classes are dealt round-robin;
+        ``cells=None`` (or more cells than classes) gives one class per
+        cell, the finest deterministic partition.
+        """
+        if cells is None or cells > len(self.classes):
+            cells = len(self.classes)
+        if cells < 1:
+            raise ValueError(f"cells must be >= 1, got {cells}")
+        return [
+            replace(self, classes=list(self.classes[cell::cells]))
+            for cell in range(cells)
+        ]
+
     def offered_bytes(self, load_scale: float = 1.0) -> int:
         return sum(
             r.request_bytes + r.response_bytes

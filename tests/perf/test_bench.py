@@ -169,7 +169,7 @@ class TestSuite:
         names = available_benchmarks()
         assert {"kernel.step", "fpc.event", "scheduler.migrate",
                 "traffic.mixed", "traffic.churn",
-                "fabric.incast.f4t"} == set(names)
+                "fabric.incast.f4t", "shard.churn"} == set(names)
 
     def test_unknown_name_rejected(self):
         with pytest.raises(KeyError):

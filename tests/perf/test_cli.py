@@ -81,3 +81,25 @@ def test_perf_compare_missing_file_errors(tmp_path):
             "perf", "compare", str(tmp_path / "no.json"),
             str(tmp_path / "nope.json"),
         ])
+
+
+def test_perf_compare_missing_baseline_records_candidate(tmp_path, capsys):
+    """First run in a fresh checkout: no baseline is not an error — the
+    candidate is recorded as the new baseline and compare succeeds."""
+    old, new = tmp_path / "BENCH_perf.json", tmp_path / "new.json"
+    _write(new, 1.2, fingerprint="abc")
+    assert repro_main(["perf", "compare", str(old), str(new)]) == 0
+    out = capsys.readouterr().out
+    assert "no baseline" in out
+    assert "recording" in out
+    recorded = json.loads(old.read_text())
+    assert recorded["benchmarks"] == json.loads(new.read_text())["benchmarks"]
+    # Second compare against the recorded baseline is a normal diff.
+    assert repro_main(["perf", "compare", str(old), str(new)]) == 0
+
+
+def test_perf_compare_missing_candidate_still_errors(tmp_path):
+    old = tmp_path / "old.json"
+    _write(old, 1.0)
+    with pytest.raises(SystemExit):
+        repro_main(["perf", "compare", str(old), str(tmp_path / "no.json")])

@@ -1,0 +1,80 @@
+"""The shard layer's keystone: the merged fingerprint is a pure
+function of (scenario, seed) — never of the worker count.
+
+Every inter-host packet, local and remote alike, is keyed
+``(arrival_ps, src, seq)`` into the destination cell's pending heap, so
+the admission sequence a cell executes is independent of how its
+inputs were batched across epoch barriers.  These tests pin that
+property the same way ``tests/traffic/test_kernel_equivalence.py``
+pins the kernel: a golden constant, captured once, that only a
+deliberate behaviour change may move.
+"""
+
+import pytest
+
+from repro.shard import get_shard_scenario, run_shard
+
+#: Merged churn fingerprint (seed 0), captured at introduction.  If a
+#: change moves this hash it changed simulated shard behaviour — that
+#: can be legitimate, but re-capture it in the same change and say why.
+GOLDEN_CHURN = (
+    "07cf36ccc07997280d646b05cee28881278d23a6fb5f3628bb7fcd17bcb5b80d"
+)
+
+
+class TestWorkerCountInvariance:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        scenario = get_shard_scenario("churn")
+        return {
+            workers: run_shard(scenario, workers=workers, fingerprint=True)
+            for workers in (1, 2, 4)
+        }
+
+    def test_merged_fingerprint_identical_across_workers(self, runs):
+        fingerprints = {r.fingerprint for r in runs.values()}
+        assert fingerprints == {GOLDEN_CHURN}
+
+    def test_per_cell_fingerprints_identical_across_workers(self, runs):
+        per_cell = {
+            workers: [c.fingerprint for c in r.cells]
+            for workers, r in runs.items()
+        }
+        assert per_cell[1] == per_cell[2] == per_cell[4]
+
+    def test_counters_identical_across_workers(self, runs):
+        totals = [
+            {c.cell: dict(c.counters) for c in r.cells}
+            for r in runs.values()
+        ]
+        assert totals[0] == totals[1] == totals[2]
+
+    def test_epoch_count_identical_across_workers(self, runs):
+        assert len({r.epochs for r in runs.values()}) == 1
+
+    def test_all_runs_finish_and_settle(self, runs):
+        for r in runs.values():
+            assert r.finished
+            assert r.total("conns_opened") == 320
+            assert r.total("conns_established") == 320
+            assert r.total("conns_closed") == 320
+
+
+class TestSeedSensitivity:
+    def test_same_seed_byte_identical(self):
+        scenario = get_shard_scenario("churn", seed=7)
+        a = run_shard(scenario, workers=2, fingerprint=True)
+        b = run_shard(scenario, workers=2, fingerprint=True)
+        assert a.fingerprint == b.fingerprint
+        assert a.to_json()["totals"] == b.to_json()["totals"]
+
+    def test_different_seed_different_fingerprint(self):
+        a = run_shard(get_shard_scenario("churn", seed=0), fingerprint=True)
+        b = run_shard(get_shard_scenario("churn", seed=7), fingerprint=True)
+        assert a.fingerprint != b.fingerprint
+
+    def test_workers_clamped_to_cells(self):
+        scenario = get_shard_scenario("churn")
+        r = run_shard(scenario, workers=64, fingerprint=True)
+        assert r.workers == scenario.num_cells
+        assert r.fingerprint == GOLDEN_CHURN

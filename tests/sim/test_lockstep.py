@@ -1,0 +1,82 @@
+"""Simulator time-slicing: run_until_time_ps / run_lockstep are
+cycle-exact — slicing bounds when the loop pauses, never which edge
+comes next."""
+
+import pytest
+
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+
+
+class _Recorder(Component):
+    """Appends (name, cycle) onto a shared log at every tick."""
+
+    def __init__(self, name: str, log: list) -> None:
+        super().__init__(name)
+        self._log = log
+
+    def tick(self) -> None:
+        super().tick()
+        self._log.append((self.name, self.cycle))
+
+
+def _build():
+    sim = Simulator()
+    sim.add_domain("engine", 250e6)
+    sim.add_domain("eth", 322e6)
+    log = []
+    sim.add_component(_Recorder("engine-side", log), "engine")
+    sim.add_component(_Recorder("eth-side", log), "eth")
+    return sim, log
+
+
+def _tick_stream(run):
+    sim, log = _build()
+    run(sim)
+    return log, sim.time_ps
+
+
+class TestRunUntilTime:
+    def test_stops_strictly_before_deadline(self):
+        sim, log = _build()
+        sim.run_until_time_ps(100_000)
+        assert log  # 100 ns covers many 4 ns / 3.1 ns cycles
+        assert sim.time_ps < 100_000
+        before = len(log)
+        sim.step()  # the next step crosses the first edge at/after it
+        assert len(log) > before
+        assert sim.time_ps >= 100_000
+
+    def test_sliced_equals_unsliced(self):
+        def unsliced(sim):
+            sim.run_until_time_ps(1_000_000)
+
+        def sliced(sim):
+            for boundary in range(100_000, 1_000_001, 100_000):
+                sim.run_until_time_ps(boundary)
+
+        assert _tick_stream(unsliced) == _tick_stream(sliced)
+
+
+class TestRunLockstep:
+    def test_barrier_called_once_per_epoch_at_boundaries(self):
+        sim, _log = _build()
+        calls = []
+        sim.run_lockstep(50_000, lambda e, b: calls.append((e, b)), epochs=4)
+        assert calls == [
+            (0, 50_000), (1, 100_000), (2, 150_000), (3, 200_000),
+        ]
+
+    def test_lockstep_equals_unsliced(self):
+        def unsliced(sim):
+            sim.run_until_time_ps(500_000)
+
+        def lockstep(sim):
+            sim.run_lockstep(100_000, lambda e, b: None, epochs=5)
+
+        assert _tick_stream(unsliced) == _tick_stream(lockstep)
+
+    def test_epoch_must_be_positive(self):
+        sim, _log = _build()
+        with pytest.raises(ValueError):
+            sim.run_lockstep(0, lambda e, b: None, epochs=1)
