@@ -10,6 +10,7 @@ Subcommands::
     python -m repro obs summary ...   # inspect exported traces
     python -m repro check all         # static analyzer + race sanitizer
     python -m repro perf run          # benchmark suite -> BENCH_perf.json
+    python -m repro mem sweep ...     # TCB cache-geometry/sketch sweeps
     python -m repro fabric sweep ...  # backend head-to-head over a fabric
     python -m repro shard run ...     # sharded multi-process simulation
 """
@@ -444,6 +445,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_lab_parser(subparsers)
     from repro.check.cli import add_check_parser, main as check_main
     from repro.fabric.cli import add_fabric_parser, main as fabric_main
+    from repro.mem.cli import add_mem_parser, main as mem_main
     from repro.obs.cli import add_obs_parser, main as obs_main
     from repro.perf.cli import add_perf_parser, main as perf_main
     from repro.shard.cli import add_shard_parser, main as shard_main
@@ -453,6 +455,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_perf_parser(subparsers)
     add_fabric_parser(subparsers)
     add_shard_parser(subparsers)
+    add_mem_parser(subparsers)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -467,6 +470,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "perf": perf_main,
         "fabric": fabric_main,
         "shard": shard_main,
+        "mem": mem_main,
     }
     if args.command is None:
         parser.print_help()

@@ -10,6 +10,7 @@ F4T-with-DRAM (38 GB/s, throttled past 1024 flows) from F4T-with-HBM
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -84,7 +85,9 @@ def measure_dram_swap_rate(
     swap-out (write) — all serialized on the DRAM channel (§4.3.1).
     """
     dram = DRAMModel.hbm() if memory == "hbm" else DRAMModel.ddr4()
-    clock = {"ps": 0.0}
+    # Kernel time is integer picoseconds end-to-end (simlint F4T007);
+    # the DRAM model's fractional busy horizon is ceiled on read.
+    clock = {"ps": 0}
     manager = MemoryManager(
         dram, cache_entries=cache_entries, time_ps_fn=lambda: clock["ps"]
     )
@@ -94,7 +97,7 @@ def measure_dram_swap_rate(
 
     for i in range(transactions):
         flow_id = i % flows  # round-robin: worst-case locality (§5.3)
-        clock["ps"] = max(clock["ps"], dram.busy_until_ps)
+        clock["ps"] = max(clock["ps"], math.ceil(dram.busy_until_ps))
         manager.handle_event(
             TcpEvent(EventKind.RX_PACKET, flow_id, ack_needed=True)
         )

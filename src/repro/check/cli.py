@@ -48,6 +48,8 @@ def cmd_race(args: argparse.Namespace) -> int:
         seed=args.seed,
         load_scale=args.load_scale,
         max_findings=args.max_findings,
+        policy=args.policy,
+        geometry=args.geometry,
     )
     print(san.report())
     if args.json is not None:
@@ -66,6 +68,8 @@ def cmd_all(args: argparse.Namespace) -> int:
         scenario_name=args.scenario,
         seed=args.seed,
         load_scale=args.load_scale,
+        policy=args.policy,
+        geometry=args.geometry,
     )
     print(san.report())
     if args.json is not None:
@@ -104,6 +108,16 @@ def _add_race_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--load-scale", type=float, default=1.0,
         help="multiply every open-loop arrival rate",
+    )
+    parser.add_argument(
+        "--policy", choices=["reactive", "predictive"], default=None,
+        help="repro.mem placement policy (default: the engine default, "
+             "reactive)",
+    )
+    parser.add_argument(
+        "--geometry", default=None, metavar="SPEC",
+        help="repro.mem TCB cache geometry, e.g. 128x4:lru/1024x1:direct "
+             "(default: the paper's direct-mapped cache)",
     )
 
 

@@ -67,6 +67,10 @@ class RaceSanitizer:
         self._location: Dict[Tuple[str, int], str] = {}
         #: (label, flow) -> cycle the evict flag was set (migration window).
         self._evict_pending: Dict[Tuple[str, int], int] = {}
+        #: (label, flow) -> cache level; shadow of the TCB cache
+        #: hierarchy (repro.mem) — a cache line is only legal while the
+        #: flow's authoritative copy is DRAM-resident.
+        self._cached: Dict[Tuple[str, int], int] = {}
 
     def scoped(self, label: str) -> "RaceSanitizer":
         """A view of this sanitizer with every key namespaced by ``label``.
@@ -249,7 +253,19 @@ class RaceSanitizer:
 
     def on_dram_take(self, cycle: int, flow_id: int) -> None:
         """Swap-in started: the DRAM copy left for an FPC."""
-        self._location[self._flow_key(flow_id)] = "moving"
+        key = self._flow_key(flow_id)
+        if key in self._cached:
+            # The manager invalidates the cache line *before* the take
+            # lands; a line that survives the take would serve stale TCB
+            # state to the next DRAM access.
+            self._emit(
+                "ghost-cache-line", cycle, flow_id,
+                f"{self.label}tcb-cache", self._cached[key], WRITER_MEMMGR,
+                "cache line still present when the flow's TCB left DRAM; "
+                "the line must be invalidated before swap-in",
+            )
+            del self._cached[key]
+        self._location[key] = "moving"
 
     def on_dram_write(self, cycle: int, flow_id: int, valid: int) -> None:
         """Memory manager handled an event against the DRAM-resident TCB."""
@@ -273,6 +289,56 @@ class RaceSanitizer:
                 "the update never reaches the live TCB (Fig 6 hazard)",
             )
 
+    # ------------------------------------------------------ TCB-cache hooks
+    def on_cache_fill(self, cycle: int, flow_id: int, level: int) -> None:
+        """A line for ``flow_id`` was (re)filled at ``level``.
+
+        Covers both miss fills and demotion/promotion moves through the
+        repro.mem hierarchy; the flow must be DRAM-resident (a cache in
+        front of DRAM cannot cache what DRAM does not hold), and the
+        exclusive hierarchy holds at most one copy.
+        """
+        self._counts["writes"] += 1
+        key = self._flow_key(flow_id)
+        where = self._location.get(key)
+        if where is None:
+            self._location[key] = "dram"  # adopt mid-run
+        elif where != "dram":
+            self._emit(
+                "ghost-cache-line", cycle, flow_id,
+                f"{self.label}tcb-cache", level, WRITER_MEMMGR,
+                f"cache line filled while the flow's live copy is in "
+                f"{where}; the line would shadow a TCB DRAM does not own",
+            )
+        previous = self._cached.get(key)
+        if previous is not None and previous == level:
+            self._emit(
+                "dup-cache-line", cycle, flow_id,
+                f"{self.label}tcb-cache", level, WRITER_MEMMGR,
+                "line filled at a level that already holds this flow; "
+                "the exclusive hierarchy allows exactly one copy",
+            )
+        self._cached[key] = level
+
+    def on_cache_evict(
+        self, cycle: int, flow_id: int, writeback: bool = False
+    ) -> None:
+        """A line left the hierarchy entirely (last-level eviction)."""
+        self._counts["writes"] += 1
+        key = self._flow_key(flow_id)
+        if key not in self._cached:
+            self._emit(
+                "ghost-cache-line", cycle, flow_id,
+                f"{self.label}tcb-cache", -1, WRITER_MEMMGR,
+                "write-back of a line the shadow state never saw filled",
+            )
+            return
+        del self._cached[key]
+
+    def on_cache_invalidate(self, flow_id: int) -> None:
+        """The manager dropped a flow's line (take/teardown path)."""
+        self._cached.pop(self._flow_key(flow_id), None)
+
     # ----------------------------------------------------- scheduler hooks
     def on_migration_start(
         self, cycle: int, flow_id: int, source_fpc: int
@@ -284,6 +350,7 @@ class RaceSanitizer:
         """Flow deregistered; forget everything about it."""
         self._location.pop(self._flow_key(flow_id), None)
         self._evict_pending.pop(self._flow_key(flow_id), None)
+        self._cached.pop(self._flow_key(flow_id), None)
 
 
 def attach_sanitizer(target: object, san: Optional[RaceSanitizer]) -> None:
@@ -318,19 +385,36 @@ def run_race_check(
     seed: Optional[int] = None,
     load_scale: float = 1.0,
     max_findings: int = DEFAULT_MAX_FINDINGS,
+    policy: Optional[str] = None,
+    geometry: Optional[str] = None,
 ) -> Tuple[RaceSanitizer, object]:
     """Run a traffic scenario with the sanitizer attached end to end.
 
     The churn preset exercises the interesting surface — per-request
     connection churn forces evictions and swap-ins through the Fig 6
-    migration protocol while both writers stay busy.  Returns the
-    sanitizer and the traffic result.
+    migration protocol while both writers stay busy.  ``policy`` and
+    ``geometry`` select the repro.mem placement policy and TCB cache
+    geometry (None = the paper-faithful defaults), so the new eviction
+    and promotion paths run under the same shadow-state checks.
+    Returns the sanitizer and the traffic result.
     """
+    from ..engine.ftengine import FtEngineConfig
     from ..engine.testbed import Testbed
     from ..traffic import LoadEngine, get_scenario
 
     scenario = get_scenario(scenario_name, seed=seed)
-    testbed = Testbed(wire=scenario.build_wire())
+    if policy is None and geometry is None:
+        testbed = Testbed(wire=scenario.build_wire())
+    else:
+        def config() -> FtEngineConfig:
+            return FtEngineConfig(
+                placement_policy=policy or "reactive",
+                cache_geometry=geometry,
+            )
+
+        testbed = Testbed(
+            config_a=config(), config_b=config(), wire=scenario.build_wire()
+        )
     san = RaceSanitizer(max_findings=max_findings)
     attach_sanitizer(testbed, san)
     engine = LoadEngine(scenario, testbed=testbed, load_scale=load_scale)

@@ -32,7 +32,8 @@ from .findings import Finding
 #: Layers (packages directly under ``repro``) that run inside the
 #: simulated clock domain and must be deterministic given the seed.
 SIM_LAYERS = frozenset(
-    {"sim", "engine", "tcp", "net", "traffic", "refsim", "fabric", "shard"}
+    {"sim", "engine", "tcp", "net", "traffic", "refsim", "fabric", "shard",
+     "mem"}
 )
 
 #: ``random`` module functions that draw from the shared global RNG.

@@ -143,16 +143,22 @@ class FlowProcessingCore(Component):
         self._mark_pending(flow_id, priority=True)
         return True
 
-    def coldest_flow(self) -> Optional[int]:
-        """Least-recently-active resident flow eligible for eviction."""
+    def coldest_flow(self, key=None) -> Optional[int]:
+        """Least-recently-active resident flow eligible for eviction.
+
+        ``key(flow_id, tcb) -> sortable`` overrides the ``last_active``
+        recency ranking — the predictive placement policy passes a
+        sketch-coldness key so heavy hitters are evicted last.
+        """
         best_id: Optional[int] = None
-        best_time = float("inf")
+        best_rank = None
         for flow_id in self.cam.keys():
             if flow_id in self._in_flight or flow_id in self._evict_requested:
                 continue
             tcb = self.tcb_table.read(self.cam.lookup(flow_id))
-            if tcb.last_active < best_time:
-                best_time = tcb.last_active
+            rank = tcb.last_active if key is None else key(flow_id, tcb)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
                 best_id = flow_id
         return best_id
 
@@ -257,6 +263,13 @@ class FlowProcessingCore(Component):
             self.tcbs_processed += 1
             self._in_flight.discard(tcb.flow_id)
             self.out_results.append(result)
+            if tcb.flow_id in self._evict_requested:
+                # The evict checker consults the request register, not
+                # the TCB image: a request that arrived while this TCB
+                # was in the pipeline set the flag on the table copy
+                # only, and the write-back below would silently drop it
+                # — leaving the flow MOVING forever.
+                tcb.evict_flag = True
             if tcb.evict_flag and tcb.flow_id in self._evict_requested:
                 # Evict checker: divert the *processed* TCB (§4.3.2) —
                 # but only once every already-routed event has been

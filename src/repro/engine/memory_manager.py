@@ -6,15 +6,21 @@ into the flow's event entry exactly like the FPC's event handler would —
 but never processed; when the check logic determines the flow could now
 send a packet, it signals the scheduler to swap the TCB into an FPC.
 
-A direct-mapped TCB cache in front of the DRAM absorbs accesses to hot
-flows; misses pay the DRAM channel occupancy that throttles Fig 13's
-DRAM curve past 1024 flows.
+A TCB cache in front of the DRAM absorbs accesses to hot flows; misses
+pay the DRAM channel occupancy that throttles Fig 13's DRAM curve past
+1024 flows.  The cache is a :class:`repro.mem.TcbCacheHierarchy`: the
+default geometry (one direct-mapped level of ``cache_entries`` sets) is
+the paper's scheme and reproduces the pre-hierarchy pinned trace
+fingerprints bit for bit; non-default geometries (multi-level,
+set-associative, sketch-driven eviction) are the ``repro.mem``
+million-flow upgrade path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..mem.hierarchy import CacheGeometry, TcbCacheHierarchy
 from ..sim.component import Component
 from ..sim.fifo import Fifo
 from ..sim.memory import DRAMModel
@@ -33,7 +39,10 @@ class MemoryManager(Component):
         self,
         dram: DRAMModel,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
-        time_ps_fn: Optional[Callable[[], float]] = None,
+        time_ps_fn: Optional[Callable[[], int]] = None,
+        geometry: Optional[Union[str, CacheGeometry]] = None,
+        sketch=None,
+        sketch_own_updates: bool = True,
     ) -> None:
         super().__init__("memory-manager")
         self.dram = dram
@@ -42,10 +51,19 @@ class MemoryManager(Component):
         # engine-level time source is wired in (standalone use).
         self.time_ps_fn = time_ps_fn or (lambda: self.cycle * 4000)
 
+        if geometry is None:
+            geometry = CacheGeometry.direct_mapped(cache_entries)
+        elif isinstance(geometry, str):
+            geometry = CacheGeometry.parse(geometry)
+        #: The TCB cache model.  ``sketch_own_updates=False`` when a
+        #: scheduler-side FlowHeat advisor already feeds the shared
+        #: sketch (avoids double-counting each event).
+        self.cache = TcbCacheHierarchy(
+            geometry, sketch=sketch, own_updates=sketch_own_updates
+        )
+
         #: Functional home of DRAM-resident state: flow -> (TCB, events).
         self._resident: Dict[int, Tuple[Tcb, EventEntry]] = {}
-        #: Direct-mapped cache: set index -> flow id currently cached.
-        self._cache: List[Optional[int]] = [None] * cache_entries
 
         self.input: Fifo[TcpEvent] = Fifo(DEFAULT_INPUT_DEPTH, "memmgr.in")
         #: Check-logic output: flows that can now send (§4.3.1).
@@ -103,45 +121,66 @@ class MemoryManager(Component):
         return None if pair is None else pair[0]
 
     # -------------------------------------------------------------- cache
-    def _cache_index(self, flow_id: int) -> int:
-        return flow_id % self.cache_entries
-
     def _touch_cache(self, flow_id: int, write: bool = False) -> bool:
         """Access the TCB through the cache; returns True on a hit.
 
         A miss charges the DRAM channel for a TCB read (plus the dirty
-        write-back of the displaced line); a hit is free — that is the
-        whole point of the cache (§4.3.1).
+        write-back of each line the fill cascade pushed out); a hit is
+        free — that is the whole point of the cache (§4.3.1).  In the
+        default direct-mapped geometry the emitted hit/miss/writeback
+        sequence and DRAM charge order are identical to the original
+        hardcoded cache (the pinned fingerprints are the oracle).
         """
-        index = self._cache_index(flow_id)
-        if self._cache[index] == flow_id:
+        outcome = self.cache.access(flow_id)
+        if outcome.hit:
             self.cache_hits += 1
             if self.trace is not None:
                 self.trace.emit(
                     self.time_ps_fn(), "engine.mem", self.trace_name,
                     "hit", flow_id,
                 )
-            return True
-        self.cache_misses += 1
+            if outcome.promoted_from is not None and self.trace is not None:
+                self.trace.emit(
+                    self.time_ps_fn(), "engine.mem", self.trace_name,
+                    "promote", flow_id, f"l{outcome.promoted_from}",
+                )
+        else:
+            self.cache_misses += 1
+            now_ps = self.time_ps_fn()
+            if self.trace is not None:
+                self.trace.emit(
+                    now_ps, "engine.mem", self.trace_name, "miss", flow_id,
+                    "clean" if not outcome.writebacks
+                    else f"writeback={outcome.writebacks[0]}",
+                )
+        self._apply_outcome(flow_id, outcome)
+        return outcome.hit
+
+    def _apply_outcome(self, flow_id: int, outcome) -> None:
+        """Charge DRAM and drive trace/sanitizer from one cache access."""
         now_ps = self.time_ps_fn()
-        if self.trace is not None:
-            displaced = self._cache[index]
-            self.trace.emit(
-                now_ps, "engine.mem", self.trace_name, "miss", flow_id,
-                "clean" if displaced is None else f"writeback={displaced}",
-            )
-        if self._cache[index] is not None:
+        for victim in outcome.writebacks:
             self.dram.transfer(TCB_SIZE_BYTES, now_ps)  # dirty write-back
-        self.dram.transfer(TCB_SIZE_BYTES, now_ps)  # line fill
-        self._cache[index] = flow_id
-        return False
+            if self.san is not None:
+                self.san.on_cache_evict(self.cycle, victim, writeback=True)
+        if not outcome.hit:
+            self.dram.transfer(TCB_SIZE_BYTES, now_ps)  # line fill
+        for level, filled in outcome.fills:
+            if level > 0 and filled != flow_id and self.trace is not None:
+                self.trace.emit(
+                    now_ps, "engine.mem", self.trace_name,
+                    "demote", filled, f"l{level}",
+                )
+            if self.san is not None:
+                self.san.on_cache_fill(self.cycle, filled, level)
 
     def _charge_dram(self, read: bool, flow_id: int, evicting: bool = False) -> None:
-        index = self._cache_index(flow_id)
         now_ps = self.time_ps_fn()
-        if self._cache[index] == flow_id:
+        if self.cache.contains(flow_id):
             if evicting:
-                self._cache[index] = None
+                self.cache.invalidate(flow_id)
+                if self.san is not None:
+                    self.san.on_cache_invalidate(flow_id)
             return
         self.dram.transfer(TCB_SIZE_BYTES, now_ps)
 

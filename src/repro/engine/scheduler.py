@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..mem.advisor import POLICY_PREDICTIVE, resolve_policy
 from ..sim.component import Component
 from ..sim.fifo import Fifo
 from ..sim.memory import PartitionedLUT
@@ -71,11 +72,17 @@ class Scheduler(Component):
         memory_manager: MemoryManager,
         coalescing: bool = True,
         lut_groups: int = COALESCE_FIFOS,
+        flow_heat=None,
+        placement_policy: Optional[str] = None,
     ) -> None:
         super().__init__("scheduler")
         self.fpcs = fpcs
         self.memory_manager = memory_manager
         self.coalescing = coalescing
+        #: repro.mem FlowHeat advisor, or None (the paper's reactive
+        #: placement; the default keeps the hot path advisor-free).
+        self.flow_heat = flow_heat
+        self.placement_policy = resolve_policy(placement_policy)
         self.lut = PartitionedLUT(lut_groups)
         self.coalesce_fifos: List[Fifo[TcpEvent]] = [
             Fifo(COALESCE_DEPTH, f"coalesce{i}") for i in range(COALESCE_FIFOS)
@@ -89,6 +96,8 @@ class Scheduler(Component):
         self.events_submitted = 0
         self.events_coalesced = 0
         self.events_routed = 0
+        self.congestion_migrations = 0
+        self.migrations_declined_hot = 0
         self.evictions = 0
         self.swap_ins = 0
         self.pending_retries = 0
@@ -143,6 +152,20 @@ class Scheduler(Component):
         candidates = [f for f in self.fpcs if not require_room or f.has_room]
         if not candidates:
             return None
+        if self.placement_policy == POLICY_PREDICTIVE and self.flow_heat is not None:
+            # Predictive placement ranks FPCs by predicted event mass,
+            # not resident-flow count: an FPC hosting one heavy hitter
+            # is *fuller* than one hosting three mice, so migrations
+            # and swap-ins land on genuinely idle cores instead of
+            # ping-ponging through the hot one.
+            heat = self.flow_heat
+            return min(
+                candidates,
+                key=lambda f: (
+                    sum(heat.estimate(fid) for fid in f.cam.keys()),
+                    f.flow_count,
+                ),
+            )
         return min(candidates, key=lambda f: f.flow_count)
 
     # ------------------------------------------------------------- submit
@@ -150,6 +173,8 @@ class Scheduler(Component):
         """Accept an event into the coalesce stage; False = backpressure."""
         fifo = self.coalesce_fifos[event.flow_id % COALESCE_FIFOS]
         self.events_submitted += 1
+        if self.flow_heat is not None:
+            self.flow_heat.record(event.flow_id)
         if self.coalescing:
             # Coalesce with an event of the same flow already queued,
             # but only when no information would be lost (§4.4.1).
@@ -220,6 +245,16 @@ class Scheduler(Component):
                 # FPC (§4.4.2, Table 2) and hold the event meanwhile —
                 # but only when some FPC actually has headroom.  When
                 # every FPC is saturated, migrating just thrashes.
+                if (
+                    self.placement_policy == POLICY_PREDICTIVE
+                    and self.flow_heat is not None
+                    and self.flow_heat.is_hot(event.flow_id)
+                ):
+                    # Predicted heavy hitter: moving it thrashes its CAM
+                    # state and usually re-congests the target — keep it
+                    # where it is and let the backlog drain.
+                    self.migrations_declined_hot += 1
+                    return fpc.offer_event(event)
                 target = self._fpc_with_lowest_count(require_room=True)
                 if (
                     target is not None
@@ -256,6 +291,7 @@ class Scheduler(Component):
             return
         self.lut.set(flow_id, (Location.MOVING, source_fpc))
         self._migrations[flow_id] = _Migration(flow_id, source_fpc, kind="congestion")
+        self.congestion_migrations += 1
         if self.san is not None:
             self.san.on_migration_start(self.cycle, flow_id, source_fpc)
         if self.trace is not None:
@@ -268,7 +304,13 @@ class Scheduler(Component):
         self, fpc: FlowProcessingCore, then_swap_in: Optional[int] = None
     ) -> bool:
         """Fig 6 step ①–③: pick the coldest flow and flag it for evict."""
-        victim = fpc.coldest_flow()
+        if self.flow_heat is not None:
+            heat = self.flow_heat
+            victim = fpc.coldest_flow(
+                key=lambda fid, tcb: heat.coldness_key(fid, tcb.last_active)
+            )
+        else:
+            victim = fpc.coldest_flow()
         if victim is None or victim in self._migrations:
             return False
         if not fpc.request_evict(victim):

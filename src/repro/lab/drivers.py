@@ -265,3 +265,33 @@ def ablation_tcb_cache_point(
         memory, flows=flows, transactions=transactions, cache_entries=cache_entries
     )
     return {"swap_rate": rate}
+
+
+# ------------------------------------------------- repro.mem: cache sweep
+def mem_point(
+    geometry: str = "512x1:direct",
+    sketch_width: int = 1024,
+    churn: float = 0.3,
+    events: int = 20_000,
+    seed: int = 1234,
+) -> Dict[str, float]:
+    """One repro.mem cache-geometry replay point (numeric scalars only).
+
+    The geometry string itself is already in the grid's parameters, so
+    only the numeric columns (hit rate, DRAM charges, per-level stats,
+    sketch accuracy) go into the result row.
+    """
+    from ..mem.sweep import run_mem_point
+
+    row = run_mem_point(
+        geometry=geometry,
+        sketch_width=sketch_width,
+        churn=churn,
+        events=events,
+        seed=seed,
+    )
+    return {
+        key: float(value)
+        for key, value in row.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }

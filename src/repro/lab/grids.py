@@ -256,3 +256,30 @@ def ablation_matrix_grid(quick: bool = False) -> ExperimentGrid:
         base={"cycles": 3_000 if quick else 10_000},
         description="FPC count x coalescing x workload, 12 points",
     )
+
+
+@register_grid("mem-geometry")
+def mem_geometry_grid(quick: bool = False) -> ExperimentGrid:
+    """TCB cache geometry x sketch width x churn (repro.mem).
+
+    The replay-level ablation behind the ROADMAP's million-flow memory
+    question: which cache organisation (and how much sketch state)
+    beats the paper's direct-mapped cache once connections churn.
+    """
+    return ExperimentGrid(
+        name="mem-geometry",
+        driver="repro.lab.drivers:mem_point",
+        domains={
+            "geometry": [
+                "512x1:direct",
+                "128x4:lru",
+                "128x4:slru",
+                "128x4:freq",
+                "64x4:lru/256x1:direct",
+            ],
+            "sketch_width": [256, 1024],
+            "churn": [0.2, 0.6],
+        },
+        base={"events": 4_000 if quick else 20_000},
+        description="cache organisation vs DRAM charges under churn",
+    )

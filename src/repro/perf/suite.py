@@ -256,7 +256,75 @@ class ShardChurnBenchmark(Benchmark):
         ).fingerprint
 
 
-_MICRO = ("kernel.step", "fpc.event", "scheduler.migrate")
+class MemLookupBenchmark(Benchmark):
+    """Sketch update+estimate per access — the FlowHeat hot-path cost.
+
+    Events = sketch operations (one update and one estimate per access
+    of a seeded Zipf/churn stream), the work the predictive placement
+    policy adds to every scheduler submit.
+    """
+
+    name = "mem.lookup"
+    events_unit = "lookups"
+
+    def __init__(self, quick: bool = False) -> None:
+        self.accesses = 20_000 if quick else 200_000
+        self._parts = None
+
+    def setup(self) -> None:
+        from ..mem.sketch import make_sketch
+        from ..mem.sweep import synth_accesses
+
+        sketch = make_sketch("countmin", width=1024, seed=1234)
+        stream = synth_accesses(self.accesses, seed=1234)
+        self._parts = (sketch, stream)
+
+    def run(self) -> Tuple[int, float]:
+        sketch, stream = self._parts
+        update = sketch.update
+        estimate = sketch.estimate
+        for flow_id in stream:
+            update(flow_id)
+            estimate(flow_id)
+        # Untimed data structure: charge one 250 MHz cycle per access so
+        # the sim-rate column stays comparable across the micro suite.
+        return len(stream), len(stream) * 4e-9
+
+
+class MemHierarchyBenchmark(Benchmark):
+    """Replay a churn stream through the set-associative TCB cache."""
+
+    name = "mem.hierarchy"
+    events_unit = "accesses"
+
+    def __init__(self, quick: bool = False) -> None:
+        self.accesses = 20_000 if quick else 200_000
+        self._parts = None
+
+    def setup(self) -> None:
+        from ..mem.hierarchy import CacheGeometry, TcbCacheHierarchy
+        from ..mem.sketch import make_sketch
+        from ..mem.sweep import synth_accesses
+
+        sketch = make_sketch("countmin", width=1024, seed=1234)
+        hierarchy = TcbCacheHierarchy(
+            CacheGeometry.parse("64x4:freq/256x1:direct"), sketch=sketch
+        )
+        stream = synth_accesses(self.accesses, seed=1234)
+        self._parts = (hierarchy, stream)
+
+    def run(self) -> Tuple[int, float]:
+        hierarchy, stream = self._parts
+        access = hierarchy.access
+        for flow_id in stream:
+            access(flow_id)
+        return len(stream), len(stream) * 4e-9
+
+
+_MICRO = (
+    "kernel.step", "fpc.event", "scheduler.migrate",
+    "mem.lookup", "mem.hierarchy",
+)
 _MACRO = ("traffic.mixed", "traffic.churn", "fabric.incast.f4t", "shard.churn")
 
 
@@ -277,6 +345,10 @@ def build_benchmarks(
             benches.append(FpcEventBenchmark(quick=quick))
         elif name == "scheduler.migrate":
             benches.append(SchedulerMigrateBenchmark(quick=quick))
+        elif name == "mem.lookup":
+            benches.append(MemLookupBenchmark(quick=quick))
+        elif name == "mem.hierarchy":
+            benches.append(MemHierarchyBenchmark(quick=quick))
         elif name.startswith("traffic."):
             benches.append(TrafficScenarioBenchmark(name.split(".", 1)[1]))
         elif name.startswith("fabric.incast."):

@@ -21,6 +21,13 @@ _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 
 
+class CuckooFullError(OverflowError):
+    """Insertion failed: both buckets, the kick chain, and the stash are
+    exhausted.  The table state is unchanged (the kick chain is undone),
+    so callers can shed the flow or grow the table — silent degradation
+    is not an option at line rate."""
+
+
 def _fnv1a(data: bytes, seed: int) -> int:
     value = _FNV_OFFSET ^ seed
     for byte in data:
@@ -51,6 +58,10 @@ class CuckooHashTable(Generic[K, V]):
         self._count = 0
         self.lookups = 0
         self.kicks = 0
+        self.inserts = 0
+        self.failed_inserts = 0
+        self.stash_inserts = 0
+        self.max_kick_chain = 0
 
     def __len__(self) -> int:
         return self._count
@@ -82,7 +93,8 @@ class CuckooHashTable(Generic[K, V]):
 
     # ------------------------------------------------------------- updates
     def insert(self, key: K, value: V) -> None:
-        """Insert or update; raises OverflowError when truly full."""
+        """Insert or update; raises :class:`CuckooFullError` when full."""
+        self.inserts += 1
         for table in (0, 1):
             index = self._hash(key, table)
             slot = self._tables[table][index]
@@ -96,6 +108,7 @@ class CuckooHashTable(Generic[K, V]):
         entry: Tuple[K, V] = (key, value)
         table = 0
         path: List[Tuple[int, int]] = []
+        chain = 0
         for _ in range(self.MAX_KICKS):
             index = self._hash(entry[0], table)
             resident = self._tables[table][index]
@@ -103,23 +116,34 @@ class CuckooHashTable(Generic[K, V]):
             path.append((table, index))
             if resident is None:
                 self._count += 1
+                if chain > self.max_kick_chain:
+                    self.max_kick_chain = chain
                 return
             self.kicks += 1
+            chain += 1
             entry = resident
             table ^= 1
+        self.max_kick_chain = max(self.max_kick_chain, chain)
         if len(self._stash) < self.STASH_SIZE:
             self._stash[entry[0]] = entry[1]
             self._count += 1
+            self.stash_inserts += 1
             return
         # No room anywhere: undo the whole kick chain so every
-        # previously inserted key stays findable, then refuse.
+        # previously inserted key stays findable, then refuse loudly —
+        # a flow the parser cannot look up is a correctness bug, not a
+        # performance wobble.
         for undo_table, undo_index in reversed(path):
             entry, self._tables[undo_table][undo_index] = (
                 self._tables[undo_table][undo_index],
                 entry,
             )
-        raise OverflowError(
-            f"cuckoo table full: {self._count} entries, stash exhausted"
+        self.failed_inserts += 1
+        raise CuckooFullError(
+            f"cuckoo table full: {self._count}/{self.capacity} entries "
+            f"(load factor {self.load_factor:.3f}), kick chain of "
+            f"{self.MAX_KICKS} exhausted and stash at {len(self._stash)}/"
+            f"{self.STASH_SIZE}"
         )
 
     def remove(self, key: K) -> Optional[V]:
@@ -142,3 +166,18 @@ class CuckooHashTable(Generic[K, V]):
                 if slot is not None:
                     yield slot
         yield from self._stash.items()
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat counters for obs metrics / ``stats_report`` ingestion."""
+        return {
+            "entries": self._count,
+            "capacity": self.capacity,
+            "load_factor": round(self.load_factor, 6),
+            "lookups": self.lookups,
+            "inserts": self.inserts,
+            "kicks": self.kicks,
+            "max_kick_chain": self.max_kick_chain,
+            "stash_entries": len(self._stash),
+            "stash_inserts": self.stash_inserts,
+            "failed_inserts": self.failed_inserts,
+        }

@@ -162,6 +162,30 @@ class TestEviction:
         assert evicted[0].req == 104
         assert fpc.input.empty
 
+    def test_evict_request_survives_in_flight_pass(self):
+        """The evict checker reads the request register, not the TCB
+        image: a request racing an in-flight FPU pass must not be lost
+        when the stale pipeline copy is written back."""
+        fpc = make_fpc(latency=14)
+        install_flows(fpc, 1)
+        fpc.offer_event(user_send_event(0, 100, 0.0))
+        # Tick until the TCB is inside the pipeline, then request evict:
+        # the flag lands on the table image while a pre-request clone is
+        # in flight.
+        for _ in range(40):
+            fpc.tick()
+            if 0 in fpc._in_flight:
+                break
+        assert 0 in fpc._in_flight
+        assert fpc.request_evict(0)
+        evicted = []
+        for _ in range(200):
+            fpc.tick()
+            fpc.drain_results()
+            evicted.extend(fpc.drain_evicted())
+        assert [tcb.flow_id for tcb in evicted] == [0]
+        assert 0 not in fpc._evict_requested
+
     def test_evicted_slot_is_reusable(self):
         fpc = make_fpc(slots=1)
         install_flows(fpc, 1)

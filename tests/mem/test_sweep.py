@@ -1,0 +1,72 @@
+"""repro.mem.sweep — replay determinism and the two acceptance claims."""
+
+from repro.mem.sweep import (
+    DEFAULT_BASELINE_GEOMETRY,
+    best_improvement,
+    compare_policies,
+    rows_to_csv,
+    run_mem_point,
+    run_mem_sweep,
+    synth_accesses,
+)
+
+
+class TestSynthAccesses:
+    def test_deterministic(self):
+        assert synth_accesses(500, seed=3) == synth_accesses(500, seed=3)
+
+    def test_churn_ids_are_one_shot(self):
+        stream = synth_accesses(2000, working_set=64, churn=0.5, seed=1)
+        churn_ids = [flow for flow in stream if flow >= 64]
+        assert len(churn_ids) == len(set(churn_ids))
+        assert churn_ids  # at 50% churn some must appear
+
+    def test_zero_churn_stays_in_working_set(self):
+        stream = synth_accesses(500, working_set=32, churn=0.0, seed=1)
+        assert all(flow < 32 for flow in stream)
+
+
+class TestSweep:
+    def test_point_row_is_flat_and_consistent(self):
+        row = run_mem_point(events=2000)
+        assert row["hits"] + row["misses"] == 2000
+        assert row["dram_charges"] == row["misses"] + row["writebacks"]
+        assert 0.0 <= row["hit_rate"] <= 1.0
+
+    def test_csv_byte_deterministic(self):
+        rows_a = run_mem_sweep(events=1000)
+        rows_b = run_mem_sweep(events=1000)
+        assert rows_to_csv(rows_a) == rows_to_csv(rows_b)
+
+    def test_some_geometry_beats_the_baseline_on_churn(self):
+        """ISSUE acceptance: >= 1 non-default point with strictly fewer
+        DRAM charges than the direct-mapped baseline under churn."""
+        rows = run_mem_sweep(events=8000)
+        best = best_improvement(rows)
+        assert best is not None
+        assert best["geometry"] != DEFAULT_BASELINE_GEOMETRY
+        assert best["dram_charges_saved"] > 0
+
+    def test_best_improvement_none_without_baseline(self):
+        rows = run_mem_sweep(geometries=["128x4:lru"], events=500)
+        assert best_improvement(rows) is None
+
+
+class TestComparePolicies:
+    def test_predictive_reduces_congestion_migrations(self):
+        """ISSUE acceptance: the sketch-driven policy migrates less on a
+        Zipf-skewed workload than the paper's reactive policy."""
+        result = compare_policies()
+        assert (
+            result["predictive_congestion_migrations"]
+            < result["reactive_congestion_migrations"]
+        )
+        assert result["predictive_declined_hot"] > 0
+
+    def test_holds_across_seeds(self):
+        for seed in (7, 99):
+            result = compare_policies(events=2000, seed=seed)
+            assert (
+                result["predictive_congestion_migrations"]
+                <= result["reactive_congestion_migrations"]
+            ), seed

@@ -168,6 +168,7 @@ class TestSuite:
     def test_available_names(self):
         names = available_benchmarks()
         assert {"kernel.step", "fpc.event", "scheduler.migrate",
+                "mem.lookup", "mem.hierarchy",
                 "traffic.mixed", "traffic.churn",
                 "fabric.incast.f4t", "shard.churn"} == set(names)
 
@@ -177,7 +178,8 @@ class TestSuite:
 
     def test_micro_benchmarks_run_quick(self):
         benches = build_benchmarks(
-            ["kernel.step", "fpc.event", "scheduler.migrate"], quick=True
+            ["kernel.step", "fpc.event", "scheduler.migrate",
+             "mem.lookup", "mem.hierarchy"], quick=True
         )
         results = run_benchmarks(benches, repeats=1, with_fingerprints=False)
         for result in results:
