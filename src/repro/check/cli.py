@@ -4,7 +4,8 @@ Subcommands::
 
     python -m repro check lint [paths...]   # simlint over the tree
     python -m repro check race              # sanitized traffic run
-    python -m repro check all               # both; the CI gate
+    python -m repro check lockstep          # sanitized shard run
+    python -m repro check all               # all three; the CI gate
 
 Exit code 0 means clean; 1 means findings (each named with its rule id
 and ``file:line``, or cycle and memory location for race findings);
@@ -23,6 +24,7 @@ import sys
 from typing import Optional
 
 from .lint import LintResult, lint_paths, write_json
+from .lockstep import LockstepSanitizer, run_lockstep_check
 from .race import DEFAULT_MAX_FINDINGS, RaceSanitizer, run_race_check
 from .rules import all_rules
 
@@ -61,6 +63,22 @@ def cmd_race(args: argparse.Namespace) -> int:
     return 0 if san.ok else 1
 
 
+def cmd_lockstep(args: argparse.Namespace) -> int:
+    san, result = run_lockstep_check(
+        scenario_name=args.scenario,
+        seed=args.seed,
+        max_findings=args.max_findings,
+    )
+    print(san.report())
+    if args.json is not None:
+        _write_lockstep_json(args.json, san)
+        print(f"wrote {args.json}")
+    if not getattr(result, "finished", True):
+        print("check lockstep: shard run did not finish", file=sys.stderr)
+        return 1
+    return 0 if san.ok else 1
+
+
 def cmd_all(args: argparse.Namespace) -> int:
     lint_result = lint_paths(args.paths or DEFAULT_PATHS)
     print(lint_result.render())
@@ -72,6 +90,10 @@ def cmd_all(args: argparse.Namespace) -> int:
         geometry=args.geometry,
     )
     print(san.report())
+    lockstep_san, lockstep_result = run_lockstep_check(
+        scenario_name=args.lockstep_scenario, seed=args.seed
+    )
+    print(lockstep_san.report())
     if args.json is not None:
         payload = {
             "lint": lint_result.to_json(),
@@ -79,18 +101,40 @@ def cmd_all(args: argparse.Namespace) -> int:
                 "writes_checked": san.writes_checked,
                 "findings": [f.to_json() for f in san.findings],
             },
+            "lockstep": {
+                "checks_run": lockstep_san.checks_run,
+                "findings": [
+                    f.to_json() for f in lockstep_san.findings
+                ],
+            },
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
-    ok = lint_result.ok and san.ok and getattr(result, "finished", True)
+    ok = (
+        lint_result.ok
+        and san.ok
+        and getattr(result, "finished", True)
+        and lockstep_san.ok
+        and getattr(lockstep_result, "finished", True)
+    )
     return 0 if ok else 1
 
 
 def _write_race_json(path: str, san: "RaceSanitizer") -> None:
     payload = {
         "writes_checked": san.writes_checked,
+        "findings": [finding.to_json() for finding in san.findings],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _write_lockstep_json(path: str, san: "LockstepSanitizer") -> None:
+    payload = {
+        "checks_run": san.checks_run,
         "findings": [finding.to_json() for finding in san.findings],
     }
     with open(path, "w", encoding="utf-8") as handle:
@@ -148,13 +192,36 @@ def add_check_parser(subparsers: argparse._SubParsersAction) -> None:
     race.add_argument("--json", metavar="PATH", help="write findings JSON")
     race.set_defaults(check_handler=cmd_race)
 
+    lockstep = check_sub.add_parser(
+        "lockstep",
+        help="run a shard scenario under the lockstep sanitizer",
+    )
+    lockstep.add_argument(
+        "--scenario", default="churn",
+        help="shard scenario for the sanitized run (default churn, "
+             "whose merged fingerprint is golden-pinned)",
+    )
+    lockstep.add_argument(
+        "--seed", type=int, default=None, help="scenario seed override"
+    )
+    lockstep.add_argument(
+        "--max-findings", type=int, default=DEFAULT_MAX_FINDINGS,
+        help="cap on recorded violations",
+    )
+    lockstep.add_argument("--json", metavar="PATH", help="write findings JSON")
+    lockstep.set_defaults(check_handler=cmd_lockstep)
+
     everything = check_sub.add_parser(
-        "all", help="simlint + race sanitizer; the CI gate"
+        "all", help="simlint + race + lockstep sanitizers; the CI gate"
     )
     everything.add_argument(
         "paths", nargs="*", help="lint targets (default: src)"
     )
     _add_race_options(everything)
+    everything.add_argument(
+        "--lockstep-scenario", default="churn",
+        help="shard scenario for the lockstep leg (default churn)",
+    )
     everything.add_argument(
         "--json", metavar="PATH", help="write combined findings JSON"
     )
@@ -164,6 +231,6 @@ def add_check_parser(subparsers: argparse._SubParsersAction) -> None:
 def main(args: argparse.Namespace) -> int:
     handler = getattr(args, "check_handler", None)
     if handler is None:
-        print("usage: python -m repro check {lint,race,all}")
+        print("usage: python -m repro check {lint,race,lockstep,all}")
         return 2
     return handler(args)

@@ -1,9 +1,11 @@
-"""Finding records shared by the linter and the race sanitizer.
+"""Finding records shared by the linter and the runtime sanitizers.
 
-Both engines report through the same two shapes so the CLI can render
-one human listing and one JSON artifact: a :class:`Finding` is anchored
-to a file and line (simlint), a :class:`RaceFinding` to a simulated
-cycle and a memory location (the sanitizer).
+The engines report through common shapes so the CLI can render one
+human listing and one JSON artifact: a :class:`Finding` is anchored to
+a file and line (simlint), a :class:`RaceFinding` to a simulated cycle
+and a memory location (the race sanitizer), and a
+:class:`LockstepFinding` to an epoch, a cell and the source line of the
+hook that observed the violation (the lockstep sanitizer).
 """
 
 from __future__ import annotations
@@ -68,5 +70,40 @@ class RaceFinding:
             "table": self.table,
             "slot": self.slot,
             "writer": self.writer,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class LockstepFinding:
+    """One violation of the conservative-PDES lockstep contract.
+
+    ``kind`` is one of the lockstep sanitizer's check ids
+    (``epoch-bound``, ``straggler``, ``duplicate-key``, ``heap-order``,
+    ``admission-order``, ``merge-order``); ``site`` is the
+    ``file:line`` of the hook that observed the violation, so a finding
+    names both the contract and the code path that broke it.
+    """
+
+    kind: str
+    epoch: int
+    cell: int
+    t_ps: int
+    site: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"epoch {self.epoch} cell {self.cell} t={self.t_ps}ps: "
+            f"{self.kind} at {self.site}: {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "epoch": self.epoch,
+            "cell": self.cell,
+            "t_ps": self.t_ps,
+            "site": self.site,
             "message": self.message,
         }

@@ -140,10 +140,24 @@ class LintResult:
         )
         return "\n".join(lines)
 
+    def summary(self) -> Dict[str, object]:
+        """Counts per rule plus the suppression count, for dashboards
+        and the CI artifact."""
+        by_rule: Dict[str, int] = {}
+        for finding in self.findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        return {
+            "total": len(self.findings),
+            "by_rule": dict(sorted(by_rule.items())),
+            "suppressed": self.suppressed,
+            "files_checked": self.files_checked,
+        }
+
     def to_json(self) -> Dict[str, object]:
         return {
             "files_checked": self.files_checked,
             "suppressed": self.suppressed,
+            "summary": self.summary(),
             "findings": [finding.to_json() for finding in self.findings],
         }
 

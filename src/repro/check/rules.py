@@ -19,6 +19,15 @@ knows:
 * **F4T007** — kernel time is integer picoseconds end-to-end: in the
   ``sim``/``engine`` layers, no float literal may be assigned into
   ``*_ps`` instance state outside the calibrated-constants modules.
+* **F4T008 / F4T009 / F4T010 / F4T011** — the determinism-dataflow
+  family added with the shard layer (PR 9), backed by
+  :mod:`repro.check.dataflow`: unordered ``dict``/``set`` iteration must
+  not feed trace emits, digests, exchange outboxes or cross-process
+  pickles; process identity (``id()``, ``os.getpid()``, salted
+  ``hash()``, default object ``repr``) must not enter sim state or
+  digests; heap/sort keys must be totally ordered (no floats, payload
+  objects shielded behind a sequence discriminator); and sim-layer
+  functions must not take mutable default arguments.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ import ast
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from . import dataflow as df
 from .findings import Finding
 
 #: Layers (packages directly under ``repro``) that run inside the
@@ -507,6 +517,305 @@ class FloatPsStateRule(LintRule):
         return False
 
 
+#: The determinism rules also police ``obs`` — the trace/digest layer is
+#: where unordered iteration corrupts fingerprints even though it does
+#: not run inside the simulated clock domain.
+DIGEST_LAYERS = SIM_LAYERS | frozenset({"obs"})
+
+#: Call targets that read the identity of the hosting process.
+PROCESS_IDENTITY_CALLS = frozenset({
+    "os.getpid", "os.getppid",
+    "multiprocessing.current_process",
+    "threading.get_ident", "threading.get_native_id",
+})
+
+
+class UnorderedFlowRule(LintRule):
+    rule_id = "F4T008"
+    title = "unordered-into-digest"
+    rationale = (
+        "iteration order of dicts/sets is insertion- or hash-dependent; "
+        "elements flowing into trace emits, digests, exchange outboxes or "
+        "cross-process pickles must pass through sorted() or carry a "
+        "total-order key, or merged fingerprints stop being "
+        "worker-count-invariant"
+    )
+    layers = DIGEST_LAYERS
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = _ImportMap(ctx.tree)
+        analysis = df.ModuleDataflow(ctx.tree, imports)
+        seen = set()
+        for flow in analysis.sink_flows():
+            key = (flow.sink_node.lineno, flow.sink_kind, flow.origin,
+                   flow.origin_line)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                ctx, flow.sink_node,
+                f"value derived from unordered iteration over {flow.origin} "
+                f"(line {flow.origin_line}) reaches a {flow.sink_kind} "
+                "without a total order; iterate sorted(...) or key the "
+                "consumer by a total order",
+            )
+
+
+class ProcessIdentityRule(LintRule):
+    rule_id = "F4T009"
+    title = "process-identity"
+    rationale = (
+        "sharded runs must produce identical digests from any worker "
+        "layout; id(), os.getpid(), PYTHONHASHSEED-dependent hash() and "
+        "default object repr/__hash__ all vary per process and poison sim "
+        "state or fingerprints"
+    )
+    layers = DIGEST_LAYERS
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = _ImportMap(ctx.tree)
+        analysis = df.ModuleDataflow(ctx.tree, imports)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "id" and node.args:
+                yield self.finding(
+                    ctx, node,
+                    "id() is a process-local address; derive a stable key "
+                    "from the object's fields instead",
+                )
+                continue
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "hash"
+                and len(node.args) == 1
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "builtin hash() is salted per process "
+                    "(PYTHONHASHSEED); use a seeded mix such as "
+                    "repro.mem.sketch.mix64 or an explicit key encoding",
+                )
+                continue
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "__hash__"
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "default object.__hash__ is the object address; define "
+                    "a stable key instead",
+                )
+                continue
+            target = imports.resolve_call(func)
+            if target in PROCESS_IDENTITY_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{target}() reads process identity; it must not "
+                    "influence sim state or digests",
+                )
+                continue
+            # repr(...) of a sim object: flag when the repr feeds a byte
+            # encoding or a digest/emit sink — that is where the default
+            # object repr's embedded address leaks into fingerprints.
+            if self._repr_into_bytes(node):
+                yield self.finding(
+                    ctx, node,
+                    "repr(...).encode() bakes the default object repr "
+                    "(process-local address) into bytes; use a canonical "
+                    "field encoding",
+                )
+                continue
+            if analysis.sink_kind_of(node) is not None:
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    for sub in ast.walk(arg):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Name)
+                            and sub.func.id == "repr"
+                            and sub.args
+                        ):
+                            yield self.finding(
+                                ctx, sub,
+                                "repr(...) inside a digest/emit sink; the "
+                                "default object repr embeds a process-local "
+                                "address — use a canonical field encoding",
+                            )
+
+    @staticmethod
+    def _repr_into_bytes(node: ast.Call) -> bool:
+        func = node.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "encode"
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "repr"
+        )
+
+
+#: Identifier fragments that mark a unique per-source tie-breaker.
+_SEQ_HINTS = ("seq", "index", "idx", "counter", "gen", "tick", "serial")
+
+
+def _is_seq_discriminator(node: ast.expr) -> bool:
+    """An element that breaks ties with a unique per-source sequence."""
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(hint in lowered for hint in _SEQ_HINTS)
+
+
+class HeapKeyOrderRule(LintRule):
+    rule_id = "F4T010"
+    title = "non-total-order-key"
+    rationale = (
+        "heap and sort keys in admission paths must be totally ordered: "
+        "floats tie-break unpredictably across platforms and payload "
+        "objects without __lt__ raise (or compare by address) the moment "
+        "two keys tie — shield payloads behind a unique sequence field"
+    )
+    layers = SIM_LAYERS
+    #: Only the integer-picosecond domains (the F4T007 set) reject float
+    #: key elements; the functional float-seconds layers (net, tcp,
+    #: refsim, traffic) keep the payload checks only.
+    clocked_layers = frozenset({"sim", "engine", "fabric", "shard"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = _ImportMap(ctx.tree)
+        comparable = df.comparable_classes(ctx.tree)
+        for func, scope in df.iter_function_scopes(ctx.tree):
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = imports.resolve_call(node.func)
+                if target in ("heapq.heappush", "heapq.heappushpop") and len(
+                    node.args
+                ) >= 2:
+                    key = self._tuple_of(node.args[1], scope)
+                    if key is not None:
+                        yield from self._check_key(
+                            ctx, node, key, scope, comparable, "heap"
+                        )
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "key"
+                        and isinstance(kw.value, ast.Lambda)
+                        and isinstance(kw.value.body, ast.Tuple)
+                    ):
+                        yield from self._check_key(
+                            ctx, node, kw.value.body, scope, comparable,
+                            "sort",
+                        )
+
+    @staticmethod
+    def _tuple_of(node: ast.expr, scope: df.Scope) -> Optional[ast.Tuple]:
+        if isinstance(node, ast.Tuple):
+            return node
+        if isinstance(node, ast.Name):
+            return scope.tuple_values.get(node.id)
+        return None
+
+    def _check_key(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        key: ast.Tuple,
+        scope: df.Scope,
+        comparable: set,
+        where: str,
+    ) -> Iterator[Finding]:
+        shielded = False
+        for index, elt in enumerate(key.elts):
+            kind = df.infer_kind(elt, scope)
+            if kind == df.KIND_FLOAT and ctx.layer in self.clocked_layers:
+                yield self.finding(
+                    ctx, call,
+                    f"float element at position {index} in a {where} key "
+                    "tuple; picosecond keys are integers — floats "
+                    "tie-break unpredictably",
+                )
+                continue
+            if _is_seq_discriminator(elt):
+                shielded = True
+                continue
+            if df.is_object_kind(kind):
+                cls = df.object_class(kind)
+                if cls in comparable:
+                    continue
+                last = index == len(key.elts) - 1
+                if not last:
+                    yield self.finding(
+                        ctx, call,
+                        f"payload object '{ast.unparse(elt)}' ({cls}) at "
+                        f"position {index} of a {where} key tuple is "
+                        "compared whenever earlier fields tie; move it "
+                        "last behind a unique sequence field",
+                    )
+                elif not shielded:
+                    yield self.finding(
+                        ctx, call,
+                        f"payload object '{ast.unparse(elt)}' ({cls}) in a "
+                        f"{where} key tuple with no preceding sequence "
+                        "discriminator; two equal keys will compare the "
+                        "payload (TypeError or address order)",
+                    )
+
+
+#: Constructors whose results are mutable containers.
+_MUTABLE_CTORS = frozenset({
+    "list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque",
+    "bytearray",
+})
+
+
+class MutableDefaultRule(LintRule):
+    rule_id = "F4T011"
+    title = "mutable-default"
+    rationale = (
+        "a mutable default argument is one shared object across every "
+        "call; state accumulated in it bleeds between runs in-process and "
+        "diverges across worker processes"
+    )
+    layers = SIM_LAYERS
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._mutable(default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and construct inside the body",
+                    )
+
+    @staticmethod
+    def _mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            return name in _MUTABLE_CTORS
+        return False
+
+
 _RULES: List[LintRule] = [
     UnseededRandomRule(),
     WallClockRule(),
@@ -515,6 +824,10 @@ _RULES: List[LintRule] = [
     StatsBypassRule(),
     FloatPsAccumulationRule(),
     FloatPsStateRule(),
+    UnorderedFlowRule(),
+    ProcessIdentityRule(),
+    HeapKeyOrderRule(),
+    MutableDefaultRule(),
 ]
 
 

@@ -11,7 +11,7 @@ plausible proportions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: Xilinx Alveo U280 capacity (XCU280 device datasheet).
 U280_LUT = 1_303_680
@@ -81,8 +81,12 @@ def ftengine_cost(num_fpcs: int) -> ResourceVector:
     return total
 
 
-def utilization_table(fpc_counts: List[int] = [1, 8]) -> List[Dict[str, object]]:
+def utilization_table(
+    fpc_counts: Optional[List[int]] = None,
+) -> List[Dict[str, object]]:
     """Rows matching Fig 7b: design, LUT%, FF%, BRAM%."""
+    if fpc_counts is None:
+        fpc_counts = [1, 8]
     rows: List[Dict[str, object]] = []
     for count in fpc_counts:
         lut, ff, bram = ftengine_cost(count).utilization()

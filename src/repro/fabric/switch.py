@@ -30,11 +30,14 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from ..net.link import LINK_100G, Link
 from ..tcp.segment import ip_from_string
 from .softstack import FabricPacket, _IntDirection
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..check.lockstep import LockstepSanitizer
 
 #: First host IP; host ``i`` is ``_BASE_IP + i`` (plain int arithmetic).
 _BASE_IP = ip_from_string("10.0.0.1")
@@ -405,6 +408,9 @@ class CellSwitch:
             h: [] for h in hosts
         }
         self._delivery_seq = 0
+        #: Lockstep sanitizer view (set by CellSim when attached); the
+        #: admit hook checks the nondecreasing-arrival feed contract.
+        self.san: Optional["LockstepSanitizer"] = None
         # Counters (all deterministic; merged into the shard result).
         self.forwarded = 0
         self.dropped = 0
@@ -438,6 +444,8 @@ class CellSwitch:
     # -------------------------------------------------------- receiver side
     def admit(self, packet: FabricPacket, now_ps: int) -> None:
         """Admit one packet arriving at the switch at ``now_ps``."""
+        if self.san is not None:
+            self.san.on_switch_admit(now_ps)
         out_port = self.host_of_ip(packet.key.dst_ip)
         if out_port is None or out_port not in self._depth:
             self.dropped += 1  # not ours: blackholed (mis-routed)

@@ -18,7 +18,12 @@ everywhere; no pinned fingerprint sees the advisor.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from .sketch import Sketch
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..obs.trace import TraceBus
 
 #: The paper-faithful policy: migrate only on observed congestion.
 POLICY_REACTIVE = "reactive"
@@ -39,7 +44,7 @@ class FlowHeat:
 
     def __init__(
         self,
-        sketch,
+        sketch: Sketch,
         hot_factor: float = 4.0,
         min_total: int = 256,
     ) -> None:
@@ -52,13 +57,13 @@ class FlowHeat:
         self.hot_checks = 0
         self.hot_hits = 0
         self._distinct = 0
-        self._seen_probe = set()
+        self._seen_probe: Set[int] = set()
         #: Optional TraceBus sink (obs wires this on the "engine.mem"
         #: layer); None keeps the hot path allocation-free.
-        self.trace = None
+        self.trace: Optional["TraceBus"] = None
         self.trace_name = "flowheat"
         #: Engine wiring points this at the integer-ps engine clock.
-        self.time_ps_fn = lambda: 0
+        self.time_ps_fn: Callable[[], int] = lambda: 0
 
     # ------------------------------------------------------------- feed
     def record(self, flow_id: int) -> None:
@@ -106,7 +111,7 @@ class FlowHeat:
         """Victim-selection key: sketch-coldest first, LRU tie-break."""
         return (self.sketch.estimate(flow_id), last_active)
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, int]:
         return {
             "records": self.records,
             "distinct": self._distinct,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import List
 
 from .sweep import (
     DEFAULT_BASELINE_GEOMETRY,
@@ -89,7 +90,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         header = "  ".join(f"{c:>14}" for c in columns)
         print(header)
         for row in rows:
-            cells = []
+            cells: List[str] = []
             for column in columns:
                 value = row[column]
                 cells.append(

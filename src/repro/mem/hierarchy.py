@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from .sketch import Sketch
+
 #: Recognized per-level eviction policies.
 EVICTION_POLICIES = ("direct", "lru", "slru", "freq")
 
@@ -92,7 +94,7 @@ class CacheGeometry:
             raise ValueError("empty cache geometry spec")
         if spec.isdigit():
             return cls.direct_mapped(int(spec))
-        levels = []
+        levels: List[CacheLevelSpec] = []
         for part in spec.split("/"):
             shape, _, policy = part.partition(":")
             sets_text, _, ways_text = shape.partition("x")
@@ -151,7 +153,7 @@ class TcbCacheHierarchy:
     def __init__(
         self,
         geometry: CacheGeometry,
-        sketch=None,
+        sketch: Optional[Sketch] = None,
         own_updates: bool = True,
     ) -> None:
         self.geometry = geometry

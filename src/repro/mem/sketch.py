@@ -22,7 +22,7 @@ repo pins with trace fingerprints.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 #: Registered sketch kinds for :func:`make_sketch`.
 SKETCH_KINDS = ("countmin", "spacesaving", "exact")
@@ -68,12 +68,13 @@ class CountMinSketch:
 
     def update(self, key: int, count: int = 1) -> int:
         """Add ``count`` observations of ``key``; returns the new estimate."""
-        estimate = None
+        estimate: Optional[int] = None
         for row_index, row in enumerate(self._rows):
             slot = mix64(key, self.seed + row_index) % self.width
             row[slot] += count
             if estimate is None or row[slot] < estimate:
                 estimate = row[slot]
+        assert estimate is not None  # depth >= 1 by construction
         self.total += count
         self.updates += 1
         self._track(key, estimate)
@@ -208,7 +209,15 @@ class ExactOracle:
         self.updates = 0
 
 
-def make_sketch(kind: str, width: int = 1024, depth: int = 4, seed: int = 0):
+#: Any of the interchangeable frequency estimators above; they share
+#: the update/estimate/heavy_hitters/reset surface and the cache
+#: hierarchy, advisor and CLI accept them interchangeably.
+Sketch = Union["CountMinSketch", "SpaceSavingSketch", "ExactOracle"]
+
+
+def make_sketch(
+    kind: str, width: int = 1024, depth: int = 4, seed: int = 0
+) -> Sketch:
     """Build a sketch by name: ``countmin`` | ``spacesaving`` | ``exact``.
 
     ``width`` doubles as the space-saving capacity so one sweep axis
@@ -226,7 +235,7 @@ def make_sketch(kind: str, width: int = 1024, depth: int = 4, seed: int = 0):
 
 
 def accuracy_report(
-    sketch, oracle: ExactOracle, keys: Iterable[int], k: int = 8
+    sketch: Sketch, oracle: ExactOracle, keys: Iterable[int], k: int = 8
 ) -> Dict[str, float]:
     """Compare a sketch against the exact oracle over ``keys``.
 

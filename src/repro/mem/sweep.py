@@ -147,7 +147,7 @@ def run_mem_sweep(
     seed: int = 1234,
 ) -> List[Dict[str, object]]:
     """The full geometry × sketch-width × churn grid, one row per point."""
-    rows = []
+    rows: List[Dict[str, object]] = []
     for churn in churns:
         for width in sketch_widths:
             for geometry in geometries:
@@ -189,7 +189,7 @@ def best_improvement(rows: List[Dict[str, object]]) -> Optional[Dict[str, object
         for row in rows
         if row["geometry"] == DEFAULT_BASELINE_GEOMETRY
     }
-    best = None
+    best: Optional[Dict[str, object]] = None
     for row in rows:
         if row["geometry"] == DEFAULT_BASELINE_GEOMETRY:
             continue

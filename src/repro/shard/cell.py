@@ -24,6 +24,9 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.trace import StreamingFingerprint
+
+from ..check.lockstep import LockstepSanitizer
 from ..fabric.backend import get_backend
 from ..fabric.softstack import FabricPacket, SoftStack
 from ..fabric.switch import CellSwitch
@@ -43,7 +46,8 @@ class CellSim:
         self,
         scenario: ShardScenario,
         cell: int,
-        trace=None,
+        trace: Optional[StreamingFingerprint] = None,
+        san: Optional[LockstepSanitizer] = None,
     ) -> None:
         self.scenario = scenario
         self.cell = cell
@@ -52,6 +56,12 @@ class CellSim:
             self.hosts, scenario.num_hosts, scenario.switch
         )
         self.trace = trace
+        #: Lockstep sanitizer view; None on normal runs (the hooks below
+        #: follow the trace bus's near-zero-cost guard contract).
+        self.san = san.for_cell(cell) if san is not None else None
+        if self.san is not None:
+            self.san.on_configure(scenario.epoch_ps, self.switch.prop_ps)
+            self.switch.san = self.san
         spec = get_backend(scenario.backend)
         self.stacks: Dict[int, SoftStack] = {}
         for host in self.hosts:
@@ -112,12 +122,16 @@ class CellSim:
         entry = (arrival_ps, src, seq, packet)
         dst_cell = self.scenario.cell_of(dst)
         if dst_cell == self.cell:
+            if self.san is not None:
+                self.san.on_route_local(entry, self.now_ps)
             heapq.heappush(self.pending, entry)
         else:
             self.outboxes[dst_cell].append(entry)
 
     def receive(self, entries: List[Entry]) -> None:
         """Merge a barrier exchange batch into the pending inbox."""
+        if self.san is not None:
+            self.san.on_exchange(entries, self.now_ps)
         for entry in entries:
             heapq.heappush(self.pending, entry)
 
@@ -155,7 +169,10 @@ class CellSim:
         admissions, stack ticks, driver ticks, message dispatch."""
         pending = self.pending
         while pending and pending[0][0] <= now:
-            arrival, _src, _seq, packet = heapq.heappop(pending)
+            entry = heapq.heappop(pending)
+            if self.san is not None:
+                self.san.on_admit(entry, now)
+            arrival, _src, _seq, packet = entry
             self.switch.admit(packet, arrival)
         for host in self.hosts:
             stack = self.stacks[host]
@@ -187,6 +204,8 @@ class CellSim:
 
     def run_epoch(self, end_ps: int) -> None:
         """Run every event strictly before ``end_ps``, then land on it."""
+        if self.san is not None:
+            self.san.on_epoch_open(self.pending, self.now_ps)
         while True:
             t = self._next_event_ps()
             if t is None or t >= end_ps:

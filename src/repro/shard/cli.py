@@ -13,6 +13,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from .runner import ShardResult
+    from .scenarios import ShardScenario
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -29,7 +34,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve(args: argparse.Namespace):
+def _resolve(args: argparse.Namespace) -> Optional["ShardScenario"]:
     """A shard scenario by name, or None for the traffic-shard path."""
     from .scenarios import SHARD_SCENARIOS, get_shard_scenario
 
@@ -46,7 +51,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     scenario = _resolve(args)
     if scenario is not None:
-        fingerprint = None  # scenario default
+        fingerprint: Optional[bool] = None  # scenario default
         if args.fingerprint:
             fingerprint = True
         elif args.no_fingerprint:
@@ -90,7 +95,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     worker_counts = [int(w) for w in args.workers_list.split(",")]
     scenario = _resolve(args)
-    rows = []
+    rows: List["ShardResult"] = []
     for workers in worker_counts:
         if scenario is not None:
             result = run_shard(scenario, workers=workers, fingerprint=True)

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..engine.ftengine import EngineMessage
 from ..fabric.softstack import SoftStack
+from ..obs.trace import StreamingFingerprint
 from .scenarios import ShardPair, ShardScenario
 
 #: Client connection phases; settled conns (_HOLD reached, or closed)
@@ -51,7 +52,7 @@ class ClientPairDriver:
         pair: ShardPair,
         stack: SoftStack,
         server_ip: int,
-        trace=None,
+        trace: Optional[StreamingFingerprint] = None,
     ) -> None:
         self.pair = pair
         self.stack = stack
@@ -170,7 +171,7 @@ class ServerHostDriver:
         stack: SoftStack,
         pairs: List[ShardPair],
         host_of_ip: Callable[[int], Optional[int]],
-        trace=None,
+        trace: Optional[StreamingFingerprint] = None,
     ) -> None:
         self.stack = stack
         self.port = scenario.server_port
@@ -204,9 +205,12 @@ class ServerHostDriver:
             if flow is None:  # torn down before the app saw it
                 continue
             client = self.host_of_ip(flow.key.dst_ip)
+            if client is None:
+                # Not a scheduled pair: nothing to frame, just hold.
+                self.accepted += 1
+                continue
             schedule = self.schedules.get(client)
             if schedule is None:
-                # Not a scheduled pair: nothing to frame, just hold.
                 self.accepted += 1
                 continue
             index = self.accept_index[client]

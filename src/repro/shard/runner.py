@@ -31,8 +31,14 @@ import multiprocessing
 import resource
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, TextIO, Tuple
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, TextIO, Tuple
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..traffic.scenario import Scenario
+
+from ..check.lockstep import LockstepSanitizer
 from ..lab.runner import _mp_context
 from ..obs.trace import StreamingFingerprint, TraceBus
 from ..obs.trace import fingerprint as trace_fingerprint
@@ -151,8 +157,11 @@ def _merged(
     reports: List[CellReport],
     elapsed: float,
     rss_kb: int,
+    san: Optional[LockstepSanitizer] = None,
 ) -> ShardResult:
     reports = sorted(reports, key=lambda r: r.cell)
+    if san is not None:
+        san.on_merge([r.cell for r in reports], scenario.num_cells)
     parts = [report.fingerprint for report in reports]
     merged = (
         merge_fingerprints(parts) if all(p is not None for p in parts) else None
@@ -179,11 +188,14 @@ def _run_sequential(
     scenario: ShardScenario,
     fingerprint: bool,
     progress: Optional[TextIO],
+    san: Optional[LockstepSanitizer] = None,
 ) -> ShardResult:
     started = time.monotonic()  # f4t: noqa[F4T002] harness wall clock
     sims = [
         CellSim(
-            scenario, cell, StreamingFingerprint() if fingerprint else None
+            scenario, cell,
+            StreamingFingerprint() if fingerprint else None,
+            san=san,
         )
         for cell in range(scenario.num_cells)
     ]
@@ -193,6 +205,8 @@ def _run_sequential(
     epoch = 0
     while epoch < scenario.max_epochs:
         boundary = (epoch + 1) * epoch_ps
+        if san is not None:
+            san.on_epoch(epoch, boundary)
         exchanged = 0
         for sim in sims:
             sim.run_epoch(boundary)
@@ -216,6 +230,7 @@ def _run_sequential(
         scenario, 1, epoch, finished, peak,
         [_cell_report(sim) for sim in sims],
         time.monotonic() - started, _rss_kb(),  # f4t: noqa[F4T002]
+        san=san,
     )
 
 
@@ -243,7 +258,10 @@ def _shard_worker_main(
             for cell in cell_ids:
                 sim = sims[cell]
                 sim.run_epoch(boundary)
-                for dst, entries in sim.take_outboxes().items():
+                # Canonical wire order: the heap on the receiving
+                # side makes admission order-invariant, but sorting here
+                # keeps the pickled exchange bytes worker-layout-stable.
+                for dst, entries in sorted(sim.take_outboxes().items()):
                     outbound.setdefault(dst, []).extend(entries)
                 open_conns += sim.open_conns()
             idle = all(sims[cell].idle() for cell in cell_ids)
@@ -277,8 +295,8 @@ def _run_pooled(
     owner = {
         cell: w for w, cells in enumerate(assignment) for cell in cells
     }
-    channels = []
-    processes = []
+    channels: List[Connection] = []
+    processes: List[BaseProcess] = []
     for w in range(workers):
         parent_end, child_end = context.Pipe()
         process = context.Process(
@@ -308,7 +326,7 @@ def _run_pooled(
                 assert tag == "barrier"
                 all_idle = all_idle and idle
                 open_now += opened
-                for dst, entries in outbound.items():
+                for dst, entries in sorted(outbound.items()):
                     inbound[owner[dst]].setdefault(dst, []).extend(entries)
                     exchanged += len(entries)
             if open_now > peak:
@@ -351,17 +369,27 @@ def run_shard(
     workers: int = 1,
     fingerprint: Optional[bool] = None,
     progress: Optional[TextIO] = None,
+    sanitizer: Optional[LockstepSanitizer] = None,
 ) -> ShardResult:
     """Run a sharded fabric scenario on ``workers`` processes.
 
     ``fingerprint=None`` takes the scenario's default (the million-flow
     presets turn it off; everything else on).  The merged fingerprint —
     when computed — is identical for every ``workers`` value.
+
+    ``sanitizer`` attaches a
+    :class:`~repro.check.lockstep.LockstepSanitizer`; its shadow state
+    must live in one address space, so a sanitized run always takes the
+    (bit-identical) sequential path regardless of ``workers``.
     """
     if fingerprint is None:
         fingerprint = scenario.fingerprint_default
     workers = max(1, min(workers, scenario.num_cells))
-    if workers > 1 and multiprocessing.current_process().daemon:
+    if sanitizer is not None:
+        return _run_sequential(scenario, fingerprint, progress, san=sanitizer)
+    # Pool-capability probe only; never enters sim state or digests.
+    if (workers > 1
+            and multiprocessing.current_process().daemon):  # f4t: noqa[F4T009]
         # A daemonic pool worker (e.g. a lab grid worker) cannot fork
         # children; the sequential path is bit-identical, just slower.
         workers = 1
@@ -394,7 +422,7 @@ def _traffic_cell_job(
 
 
 def run_traffic_shard(
-    scenario,
+    scenario: "Scenario",
     cells: Optional[int] = None,
     workers: int = 1,
     load_scale: float = 1.0,
@@ -410,7 +438,9 @@ def run_traffic_shard(
     parts = scenario.split(cells)
     jobs = [(cell, part, load_scale) for cell, part in enumerate(parts)]
     workers = max(1, min(workers, len(jobs)))
-    if workers > 1 and multiprocessing.current_process().daemon:
+    # Pool-capability probe only; never enters sim state or digests.
+    if (workers > 1
+            and multiprocessing.current_process().daemon):  # f4t: noqa[F4T009]
         workers = 1
     if workers == 1:
         rows = [_traffic_cell_job(job) for job in jobs]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..fabric.switch import SwitchConfig
 from ..net.wire import derive_seed
@@ -88,7 +88,7 @@ class ShardScenario:
             )
         if not self.pairs:
             raise ValueError(f"{self.name}: no pairs")
-        seen = set()
+        seen: Set[Tuple[int, int]] = set()
         for pair in self.pairs:
             if not (0 <= pair.client < self.num_hosts):
                 raise ValueError(f"{self.name}: client {pair.client} out of range")

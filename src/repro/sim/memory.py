@@ -208,6 +208,37 @@ class CAM(Generic[V]):
         return list(self._slots)
 
 
+def _stable_partition(key: Any) -> int:
+    """PYTHONHASHSEED-free hash for partition selection.
+
+    Matches builtin ``hash()`` for the small non-negative ints flow ids
+    use — so group assignments (and the access stats benches read off
+    them) are unchanged — while str/bytes/tuple keys hash identically
+    across worker processes.
+    """
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if isinstance(key, (bytes, bytearray)):
+        value = 0xCBF29CE484222325
+        for byte in key:
+            value = ((value ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return value
+    if isinstance(key, tuple):
+        value = 0x345678
+        for item in key:
+            value = (value * 1000003 ^ _stable_partition(item))
+            value &= 0xFFFFFFFFFFFFFFFF
+        return value
+    raise TypeError(
+        f"no stable hash for LUT key type {type(key).__name__}; use "
+        "int/str/bytes/tuple keys"
+    )
+
+
 class PartitionedLUT:
     """The location LUT built from logic LUTs, hash-partitioned into groups.
 
@@ -226,7 +257,7 @@ class PartitionedLUT:
         self.accesses = 0
 
     def _group_of(self, key: Any) -> Dict[Any, Any]:
-        return self._tables[hash(key) % self.groups]
+        return self._tables[_stable_partition(key) % self.groups]
 
     def __contains__(self, key: Any) -> bool:
         return key in self._group_of(key)

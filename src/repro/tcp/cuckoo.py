@@ -36,6 +36,30 @@ def _fnv1a(data: bytes, seed: int) -> int:
     return value
 
 
+def _validate_key(key: object) -> None:
+    """Reject key types whose default repr embeds the object address."""
+    if isinstance(key, tuple):
+        for item in key:
+            _validate_key(item)
+    elif type(key).__repr__ is object.__repr__:
+        raise TypeError(
+            f"{type(key).__name__} has the default object repr; cuckoo "
+            "keys need a stable __repr__ (or a plain field tuple) so "
+            "placements match across worker processes"
+        )
+
+
+def _key_bytes(key: object) -> bytes:
+    """Canonical bytes for seeded hashing.
+
+    ``repr`` is stable for the int/str/(nested) tuple keys flow tables
+    use; :func:`_validate_key` rejects exactly the default-object-repr
+    case where the bytes would embed a process-local address.
+    """
+    _validate_key(key)
+    return repr(key).encode()  # f4t: noqa[F4T009] default reprs rejected
+
+
 class CuckooHashTable(Generic[K, V]):
     """Two-table cuckoo hash with a bounded stash.
 
@@ -75,7 +99,7 @@ class CuckooHashTable(Generic[K, V]):
         return self._count / self.capacity
 
     def _hash(self, key: K, table: int) -> int:
-        data = repr(key).encode()
+        data = _key_bytes(key)
         return _fnv1a(data, seed=0x9E3779B9 * (table + 1)) % self._table_size
 
     # ------------------------------------------------------------- queries

@@ -367,8 +367,12 @@ class LoadEngine:
             if cls.lifecycle == PER_REQUEST:
                 continue
             for _ in range(cls.connections):
+                # states iterate in scenario declaration order, which is
+                # fixed per scenario+seed; sorting would re-pin goldens.
                 state.conns.append(
-                    self._connect(cls, rounds_left=cls.rounds or 0)
+                    self._connect(  # f4t: noqa[F4T008]
+                        cls, rounds_left=cls.rounds or 0
+                    )
                 )
 
     def _connect(self, cls: TrafficClass, rounds_left: int = 0) -> _Conn:
@@ -421,8 +425,10 @@ class LoadEngine:
         if self.sweep_all_pumps:
             self._mark_all_dirty()
         self._release_arrivals()
+        # Declaration-order iteration, fixed per scenario+seed; sorting
+        # would reorder emits and re-pin the trace goldens.
         for state in self.states.values():
-            self._advance_class(state)
+            self._advance_class(state)  # f4t: noqa[F4T008]
         return self._all_done()
 
     def _drain_host_messages(self) -> None:

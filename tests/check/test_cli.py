@@ -53,8 +53,19 @@ class TestLintCommand:
         code, out = run_check(["lint", "--list-rules"], capsys)
         assert code == 0
         for rule_id in ("F4T001", "F4T002", "F4T003", "F4T004", "F4T005",
-                        "F4T006"):
+                        "F4T006", "F4T007", "F4T008", "F4T009", "F4T010",
+                        "F4T011"):
             assert rule_id in out
+
+    def test_json_summary_block(self, tmp_path, capsys):
+        seeded_violation(tmp_path)
+        artifact = tmp_path / "findings.json"
+        run_check(["lint", str(tmp_path), "--json", str(artifact)], capsys)
+        summary = json.loads(artifact.read_text())["summary"]
+        assert summary["by_rule"] == {"F4T002": 1}
+        assert summary["total"] == 1
+        assert summary["suppressed"] == 0
+        assert summary["files_checked"] == 1
 
 
 class TestRaceCommand:
@@ -62,6 +73,19 @@ class TestRaceCommand:
         code, out = run_check(["race", "--seed", "3"], capsys)
         assert code == 0
         assert "0 violations" in out
+
+
+class TestLockstepCommand:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        artifact = tmp_path / "lockstep.json"
+        code, out = run_check(
+            ["lockstep", "--json", str(artifact)], capsys
+        )
+        assert code == 0
+        assert "0 violations" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["findings"] == []
+        assert payload["checks_run"] > 0
 
 
 class TestAllCommand:
@@ -74,6 +98,8 @@ class TestAllCommand:
         payload = json.loads(artifact.read_text())
         assert payload["lint"]["findings"] == []
         assert payload["race"]["findings"] == []
+        assert payload["lockstep"]["findings"] == []
+        assert payload["lockstep"]["checks_run"] > 0
 
     def test_gate_fails_on_seeded_violation(self, tmp_path, capsys):
         seeded_violation(tmp_path)

@@ -168,6 +168,163 @@ class TestFloatPsState:
         assert lint_source(impl, path="src/repro/sim/memory.py") == []
 
 
+class TestUnorderedFlow:
+    def test_dict_iteration_into_digest_flagged(self):
+        bad = (
+            "def f(digest):\n"
+            "    table = {1: 2}\n"
+            "    for key in table:\n"
+            "        digest.update(key)\n"
+        )
+        findings = lint_in_layer(bad)
+        assert ids(findings) == ["F4T008"]
+        assert "line 3" in findings[0].message  # names the iteration
+
+    def test_sorted_iteration_ok(self):
+        good = (
+            "def f(digest):\n"
+            "    table = {1: 2}\n"
+            "    for key in sorted(table):\n"
+            "        digest.update(key)\n"
+        )
+        assert lint_in_layer(good) == []
+
+    def test_set_iteration_into_outbox_flagged(self):
+        bad = (
+            "class C:\n"
+            "    def f(self, flows):\n"
+            "        for flow in set(flows):\n"
+            "            self.outbox.append(flow)\n"
+        )
+        assert ids(lint_in_layer(bad, layer="shard")) == ["F4T008"]
+
+    def test_order_invariant_reduction_ok(self):
+        # sum() over an unordered view launders the order dependence.
+        good = (
+            "def f(digest, queues):\n"
+            "    digest.update(sum(len(q) for q in queues.values()))\n"
+        )
+        assert lint_in_layer(good, layer="obs") == []
+
+    def test_outside_digest_layers_ok(self):
+        bad = (
+            "def f(digest):\n"
+            "    table = {1: 2}\n"
+            "    for key in table:\n"
+            "        digest.update(key)\n"
+        )
+        assert lint_source(bad, path="src/repro/analysis/plots.py") == []
+
+
+class TestProcessIdentity:
+    def test_getpid_flagged(self):
+        bad = "import os\n\ndef f():\n    return os.getpid()\n"
+        assert ids(lint_in_layer(bad, layer="shard")) == ["F4T009"]
+
+    def test_id_flagged(self):
+        bad = "def f(obj):\n    return id(obj)\n"
+        assert ids(lint_in_layer(bad)) == ["F4T009"]
+
+    def test_builtin_hash_flagged_with_stable_alternative(self):
+        bad = "def f(key):\n    return hash(key)\n"
+        findings = lint_in_layer(bad)
+        assert ids(findings) == ["F4T009"]
+        assert "mix64" in findings[0].message
+
+    def test_repr_into_bytes_flagged(self):
+        bad = "def f(pkt):\n    return repr(pkt).encode()\n"
+        assert ids(lint_in_layer(bad)) == ["F4T009"]
+
+    def test_field_access_ok(self):
+        good = "def f(pkt):\n    return pkt.flow_id\n"
+        assert lint_in_layer(good) == []
+
+
+class TestHeapKeyOrder:
+    PACKET = (
+        "class Packet:\n"
+        "    def __init__(self):\n"
+        "        self.size = 0\n\n"
+    )
+
+    def test_unshielded_payload_in_heap_key_flagged(self):
+        bad = (
+            "import heapq\n\n" + self.PACKET +
+            "def f(heap, t):\n"
+            "    pkt = Packet()\n"
+            "    heapq.heappush(heap, (t, pkt))\n"
+        )
+        findings = lint_in_layer(bad)
+        assert ids(findings) == ["F4T010"]
+        assert "Packet" in findings[0].message
+
+    def test_sequence_discriminator_shields_payload(self):
+        good = (
+            "import heapq\n\n" + self.PACKET +
+            "def f(heap, t, seq):\n"
+            "    pkt = Packet()\n"
+            "    heapq.heappush(heap, (t, seq, pkt))\n"
+        )
+        assert lint_in_layer(good) == []
+
+    def test_comparable_payload_ok(self):
+        good = (
+            "import heapq\n\n"
+            "class Packet:\n"
+            "    def __lt__(self, other):\n"
+            "        return True\n\n"
+            "def f(heap, t):\n"
+            "    pkt = Packet()\n"
+            "    heapq.heappush(heap, (t, pkt))\n"
+        )
+        assert lint_in_layer(good) == []
+
+    def test_float_key_element_flagged_in_clocked_layer(self):
+        bad = (
+            "import heapq\n\n"
+            "def f(heap, t, pkt):\n"
+            "    heapq.heappush(heap, (t * 1.5, pkt))\n"
+        )
+        assert ids(lint_in_layer(bad)) == ["F4T010"]
+
+    def test_float_key_ok_in_float_time_layer(self):
+        ok = (
+            "import heapq\n\n"
+            "def f(heap, t, pkt):\n"
+            "    heapq.heappush(heap, (t * 1.5, pkt))\n"
+        )
+        # net/tcp/refsim keep float seconds by design (F4T007 scope).
+        assert lint_in_layer(ok, layer="net") == []
+
+    def test_sort_key_lambda_checked(self):
+        bad = (
+            self.PACKET +
+            "def f(entries, t):\n"
+            "    p = Packet()\n"
+            "    entries.sort(key=lambda e: (t, p))\n"
+        )
+        assert ids(lint_in_layer(bad)) == ["F4T010"]
+
+
+class TestMutableDefault:
+    def test_list_literal_default_flagged(self):
+        bad = "def f(x, acc=[]):\n    acc.append(x)\n    return acc\n"
+        assert ids(lint_in_layer(bad)) == ["F4T011"]
+
+    def test_ctor_default_flagged(self):
+        bad = "def f(x, table=dict()):\n    return table\n"
+        assert ids(lint_in_layer(bad)) == ["F4T011"]
+
+    def test_none_default_ok(self):
+        good = (
+            "def f(x, acc=None):\n"
+            "    if acc is None:\n"
+            "        acc = []\n"
+            "    return acc\n"
+        )
+        assert lint_in_layer(good) == []
+
+
 class TestNoqa:
     def test_noqa_suppresses_matching_rule(self):
         src = "import time\n\nnow = time.time()  # f4t: noqa[F4T002]\n"
@@ -180,6 +337,24 @@ class TestNoqa:
     def test_noqa_for_other_rule_does_not_suppress(self):
         src = "import time\n\nnow = time.time()  # f4t: noqa[F4T001]\n"
         assert ids(lint_in_layer(src)) == ["F4T002"]
+
+    MULTI = (
+        "def f(digest):\n"
+        "    table = {1: 2}\n"
+        "    for key in table:\n"
+        "        digest.update(key)  # f4t: noqa[F4T003,F4T008]\n"
+    )
+
+    def test_multi_rule_noqa_suppresses_listed_rules(self):
+        assert lint_in_layer(self.MULTI) == []
+
+    def test_multi_rule_noqa_keeps_unlisted_rules(self):
+        src = self.MULTI.replace("[F4T003,F4T008]", "[F4T003,F4T011]")
+        assert ids(lint_in_layer(src)) == ["F4T008"]
+
+    def test_multi_rule_noqa_tolerates_spaces(self):
+        src = self.MULTI.replace("[F4T003,F4T008]", "[F4T003, F4T008]")
+        assert lint_in_layer(src) == []
 
 
 class TestSyntaxError:

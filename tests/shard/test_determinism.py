@@ -60,6 +60,24 @@ class TestWorkerCountInvariance:
             assert r.total("conns_closed") == 320
 
 
+class TestSanitizedRun:
+    def test_lockstep_sanitizer_preserves_golden(self):
+        """The lockstep hooks observe, they never mutate: a sanitized
+        churn run is clean AND reproduces the pinned golden exactly."""
+        from repro.check.lockstep import LockstepSanitizer
+
+        scenario = get_shard_scenario("churn")
+        san = LockstepSanitizer()
+        result = run_shard(scenario, fingerprint=True, sanitizer=san)
+        assert san.ok, san.report()
+        assert san.checks_run > 0
+        assert result.fingerprint == GOLDEN_CHURN
+        assert [c.fingerprint for c in result.cells] == [
+            c.fingerprint
+            for c in run_shard(scenario, fingerprint=True).cells
+        ]
+
+
 class TestSeedSensitivity:
     def test_same_seed_byte_identical(self):
         scenario = get_shard_scenario("churn", seed=7)
