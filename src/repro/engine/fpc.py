@@ -71,6 +71,12 @@ class FlowProcessingCore(Component):
         )
 
         self.input: Fifo[TcpEvent] = Fifo(DEFAULT_INPUT_DEPTH, f"fpc{fpc_id}.in")
+        #: Conservative activity flag: False guarantees every work
+        #: container is empty (an idle FPC can only gain work through
+        #: offer_event/request_evict, which set it); True means the
+        #: owner must check for real.  Lets the engine's per-cycle scan
+        #: touch one attribute for confirmed-idle FPCs.
+        self._maybe_busy = True
         self._dispatch_queue: Deque[int] = deque()  # flow ids needing the FPU
         self._queued: Set[int] = set()
         self._in_flight: Set[int] = set()
@@ -141,6 +147,7 @@ class FlowProcessingCore(Component):
         self._evict_requested.add(flow_id)
         # Route the flow to the FPU so the evict checker sees it soon.
         self._mark_pending(flow_id, priority=True)
+        self._maybe_busy = True
         return True
 
     def coldest_flow(self, key=None) -> Optional[int]:
@@ -178,6 +185,7 @@ class FlowProcessingCore(Component):
 
     def offer_event(self, event: TcpEvent) -> bool:
         """Scheduler pushes an event; False signals backpressure (§4.4.2)."""
+        self._maybe_busy = True
         return self.input.push(event)
 
     @property

@@ -14,6 +14,7 @@ are queued as :class:`EngineMessage` objects that the library drains.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
@@ -203,6 +204,9 @@ class FtEngine(Component):
         #: Per-thread message queues: receive-side scaling keeps all of
         #: a flow's commands on one queue for cache locality (§4.6).
         self.host_messages: Dict[int, Deque[EngineMessage]] = {0: deque()}
+        #: Bumped on every host-queue mutation (post or drain) so
+        #: pollers can skip rescanning untouched queues.
+        self.msg_epoch = 0
         self._flow_thread: Dict[int, int] = {}
         self._accept_rr: Dict[int, int] = {}  # per-port round-robin index
 
@@ -412,38 +416,169 @@ class FtEngine(Component):
 
     # ---------------------------------------------------------------- tick
     def busy(self) -> bool:
-        return bool(
+        # Hot path: called once per probe by the testbed loop; plain
+        # loop with direct container truthiness beats any()/genexpr.
+        if (
             self._event_backlog
             or self.scheduler.busy()
             or self.memory_manager.busy()
-            or any(fpc.busy() for fpc in self.fpcs)
             or self.rx_parser.notifications
-        )
+        ):
+            return True
+        for fpc in self.fpcs:
+            if fpc._maybe_busy and (
+                fpc.input._items
+                or fpc._dispatch_queue
+                or fpc._in_flight
+                or fpc.out_results
+                or fpc.out_evicted
+            ):
+                return True
+        return False
 
     def next_wakeup_ps(self) -> Optional[float]:
         """Earliest future time this engine must run (timer deadline)."""
         deadline_s = self.timers.next_deadline()
         return None if deadline_s is None else deadline_s * 1e12
 
+    # ------------------------------------------------------ batched advance
+    def next_work_cycle(self) -> Optional[int]:
+        """Earliest absolute cycle at which :meth:`tick` does real work.
+
+        None means nothing bounded is scheduled at all (quiet forever,
+        absent external input).  Only meaningful under the testbed's
+        quiet-run contract: nothing external — wire sends from the
+        peer, host API calls — happens before the returned cycle, which
+        the caller proves by combining both engines' horizons with the
+        pump's.  Anything the very next tick would consume (backlog,
+        RX notifications, a busy scheduler or memory manager, any FPC
+        queue) reports ``cycle + 1``; the remaining sources of future
+        work are exactly the three the tick pokes every cycle — FPU
+        pipeline retires, timer expiry, wire arrivals.
+        """
+        if (
+            self._event_backlog
+            or self.rx_parser.notifications
+            or self.scheduler.busy()
+            or self.memory_manager.busy()
+        ):
+            return self.cycle + 1
+        best: Optional[int] = None
+        for fpc in self.fpcs:
+            if not fpc._maybe_busy:
+                continue  # idle invariant: every container empty
+            if (
+                fpc.input._items
+                or fpc._dispatch_queue
+                or fpc.out_results
+                or fpc.out_evicted
+            ):
+                return self.cycle + 1
+            retire = fpc.pipe.next_retire_cycle()
+            if retire is not None:
+                # FPC counters lag the engine's after idle jumps (jumps
+                # move the testbed cycle without ticking); only the
+                # delta to the FPC's own cycle is meaningful.
+                c = self.cycle + max(1, retire - fpc.cycle)
+                if best is None or c < best:
+                    best = c
+        hint_s = self.timers.earliest_hint
+        if hint_s != math.inf:
+            c = self._timer_guard_cycle(hint_s)
+            if best is None or c < best:
+                best = c
+        if self.port is not None:
+            arrival = self.port.next_arrival_ps()
+            if arrival is not None:
+                c = self._arrival_cycle(arrival)
+                if best is None or c < best:
+                    best = c
+        return best
+
+    def _timer_guard_cycle(self, hint_s: float) -> int:
+        """First cycle whose tick passes the timer-expiry guard.
+
+        Guarded search around the analytic guess: the result must
+        satisfy ``_expire_timers``'s own float comparison exactly, so a
+        batched run fires the timer on the identical cycle the
+        per-cycle loop does — an analytic ceil alone can be off by one
+        at float boundaries.
+        """
+        floor_k = self.cycle + 1
+        k = int(hint_s * 1e12 / ENGINE_PERIOD_PS)
+        if k < floor_k:
+            k = floor_k
+        while hint_s > (k * ENGINE_PERIOD_PS) / 1e12:
+            k += 1
+        while k > floor_k and hint_s <= ((k - 1) * ENGINE_PERIOD_PS) / 1e12:
+            k -= 1
+        return k
+
+    def _arrival_cycle(self, arrival_ps: float) -> int:
+        """First cycle whose wire poll delivers ``arrival_ps`` (guarded)."""
+        floor_k = self.cycle + 1
+        k = int(arrival_ps // ENGINE_PERIOD_PS)
+        if k < floor_k:
+            k = floor_k
+        while k * ENGINE_PERIOD_PS < arrival_ps:
+            k += 1
+        while k > floor_k and (k - 1) * ENGINE_PERIOD_PS >= arrival_ps:
+            k -= 1
+        return k
+
+    def advance_cycles(self, n: int) -> None:
+        """Advance ``n`` guaranteed-quiet cycles in one call.
+
+        Mirrors exactly what ``n`` no-op ticks do to the counters: the
+        scheduler's and every FPC's cycle advances on every tick
+        whether or not they work, while the memory manager's advances
+        only inside its own busy tick — which a quiet window excludes.
+        The caller proves quietness via :meth:`next_work_cycle` first.
+        """
+        self.cycle += n
+        self.scheduler.cycle += n
+        for fpc in self.fpcs:
+            fpc.cycle += n
+
     def tick(self) -> None:
-        self.cycle += 1
-        self._expire_timers()
+        # Hot path: every guard below is the callee's own first check
+        # inlined (same expressions, so same float compares), saving a
+        # call per quiet subsystem per cycle.
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        if self.timers.earliest_hint <= cycle * ENGINE_PERIOD_PS / 1e12:
+            self._expire_timers()
         if self._event_backlog:
             self._drain_backlog()
-        self._poll_wire()
+        port = self.port
+        if port is not None:
+            in_flight = port._inbound._in_flight
+            if in_flight and in_flight[0][0] <= cycle * ENGINE_PERIOD_PS:
+                self._poll_wire()
         if self.scheduler.busy():
             self.scheduler.tick()
         else:
             self.scheduler.cycle += 1  # keep cycle-based retries aligned
-        if self.memory_manager.busy():
-            self.memory_manager.tick()
+        memory_manager = self.memory_manager
+        if memory_manager.input._items or memory_manager.swap_in_requests:
+            memory_manager.tick()
         for fpc in self.fpcs:
             # Idle FPCs would only bump their cycle counter; do exactly
             # that without the full tick (hot-loop fast path).
-            if fpc.busy():
-                fpc.tick()
-                if fpc.out_results or fpc.out_evicted:
-                    self._drain_one_fpc(fpc)
+            if fpc._maybe_busy:
+                if (
+                    fpc.input._items
+                    or fpc._dispatch_queue
+                    or fpc._in_flight
+                    or fpc.out_results
+                    or fpc.out_evicted
+                ):
+                    fpc.tick()
+                    if fpc.out_results or fpc.out_evicted:
+                        self._drain_one_fpc(fpc)
+                else:
+                    fpc._maybe_busy = False
+                    fpc.cycle += 1
             else:
                 fpc.cycle += 1
         if self.rx_parser.notifications:
@@ -588,6 +723,7 @@ class FtEngine(Component):
         if queue is None:
             queue = self.host_messages[0]
         queue.append(EngineMessage(kind, flow_id, value))
+        self.msg_epoch += 1
         if self.trace is not None:
             self.trace.emit(
                 self.time_ps, "host", f"{self.trace_name}/hostq", "msg",
@@ -737,6 +873,8 @@ class FtEngine(Component):
             return []
         messages = list(queue)
         queue.clear()
+        if messages:
+            self.msg_epoch += 1
         return messages
 
 

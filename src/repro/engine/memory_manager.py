@@ -193,7 +193,8 @@ class MemoryManager(Component):
         return len(self.input) > self.input.capacity // 2
 
     def busy(self) -> bool:
-        return bool(self.input or self.swap_in_requests)
+        # Hot path: direct deque truthiness avoids Fifo.__len__.
+        return bool(self.input._items or self.swap_in_requests)
 
     def tick(self) -> None:
         self.cycle += 1

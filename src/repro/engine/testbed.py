@@ -77,6 +77,7 @@ class Testbed:
         max_time_s: float = 1.0,
         max_steps: int = 50_000_000,
         wakeup_ps: Optional[Callable[[], Optional[float]]] = None,
+        quiet_cycle: Optional[Callable[[], Optional[int]]] = None,
     ) -> bool:
         """Run until ``until()`` holds; returns False on time/step bound.
 
@@ -85,10 +86,37 @@ class Testbed:
         lets a driver announce externally scheduled work (e.g. the next
         open-loop traffic arrival) so idle-skip jumps exactly there
         instead of fast-forwarding in blind chunks past it.
+
+        ``quiet_cycle`` enables the batched loop: it returns the
+        earliest cycle at which the ``until`` pump would act (trace
+        samples, audits, arrival releases, any advanceable connection),
+        or None when the pump must run every cycle.  Combined with both
+        engines' :meth:`FtEngine.next_work_cycle` horizons, whole runs
+        of busy-but-quiet cycles (FPU pipelines in flight, timers
+        pending, frames on the wire) collapse into one
+        :meth:`FtEngine.advance_cycles` call.  ``steps`` counts skipped
+        cycles so the probe phase (``steps % 8``) and both bounds stay
+        aligned with the per-cycle loop — the batched path is
+        cycle-exact, which the kernel-equivalence goldens pin.
         """
         max_time_ps = max_time_s * 1e12
         steps = 0
         idle_chunk = 256
+        # Skip-attempt backoff: a failed probe during a work burst
+        # predicts more failures, so attempts thin out exponentially
+        # (capped, so a fresh quiet window is still caught within a few
+        # steps).  Attempts are side-effect-free — any subset of valid
+        # skips leaves the run cycle-exact — so this is pure cost
+        # control, not a semantic knob.
+        defer = 0
+        backoff = 0
+        # First cycle whose top-of-loop time check exits: guarded so
+        # batched skips stop exactly where the float compare would.
+        cycle_bound = math.ceil(max_time_ps / ENGINE_PERIOD_PS)
+        while cycle_bound * ENGINE_PERIOD_PS < max_time_ps:
+            cycle_bound += 1
+        while cycle_bound > 0 and (cycle_bound - 1) * ENGINE_PERIOD_PS >= max_time_ps:
+            cycle_bound -= 1
         # Hot loop: hoist attribute lookups — this loop runs once per
         # simulated cycle under every traffic scenario and lab sweep.
         engine_a = self.engine_a
@@ -102,7 +130,12 @@ class Testbed:
             if self.cycle * ENGINE_PERIOD_PS >= max_time_ps or steps >= max_steps:
                 return False
             # The busy probe costs more than an idle step, so only look
-            # for idle-skip opportunities every few steps.
+            # for idle-skip opportunities every few steps.  idle_chunk
+            # and the idle branch stay strictly on this phase — idle
+            # jumps land on probe-phase-dependent cycles, so running
+            # them off-phase would diverge from the per-cycle loop.
+            busy = False
+            attempt = False
             if steps % 8 == 0:
                 busy = (
                     engine_a.busy()
@@ -136,6 +169,79 @@ class Testbed:
                         )
                 else:
                     idle_chunk = 256
+                    attempt = quiet_cycle is not None
+            elif quiet_cycle is not None:
+                busy = (
+                    engine_a.busy()
+                    or engine_b.busy()
+                    or wire.in_flight > 0
+                )
+                # Not-busy iterations between probes are plain ticks in
+                # the per-cycle loop too (the idle branch only runs on
+                # the probe phase), so they are also collapsible — just
+                # capped at the next probe top, where the idle branch
+                # must run for real.
+                attempt = True
+            if attempt and defer > 0:
+                defer -= 1
+                attempt = False
+            if attempt:
+                # Batched run: find the first cycle anything — either
+                # engine or the pump — acts, and collapse the
+                # guaranteed-no-op iterations before it.  Skipped
+                # iterations' pumps, bounds checks and ticks are no-ops
+                # by construction; counting them straight into
+                # cycle/steps keeps the probe phase and both bounds
+                # exactly where the per-cycle loop would have them.
+                # Engine horizons first: when work is imminent (the
+                # common busy-working case) they bail out before the
+                # pump's connection scan runs.
+                floor = self.cycle + 1
+                wa = engine_a.next_work_cycle()
+                if wa is None or wa > floor:
+                    wb = engine_b.next_work_cycle()
+                    if wb is None or wb > floor:
+                        limit = quiet_cycle()
+                        if limit is not None:
+                            if wa is not None and wa < limit:
+                                limit = wa
+                            if wb is not None and wb < limit:
+                                limit = wb
+                            if cycle_bound < limit:
+                                limit = cycle_bound
+                            h = limit - floor
+                            cap = max_steps - steps - 1
+                            if cap < h:
+                                h = cap
+                            if not busy:
+                                # busy can't change inside a no-op run,
+                                # so a skipped probe top would take the
+                                # idle branch (a jump that does NOT
+                                # advance engine counters) — land on it
+                                # instead of skipping over it.
+                                cap = 8 - steps % 8
+                                if cap < h:
+                                    h = cap
+                            if h > 0:
+                                # A skipped probe iteration would have
+                                # reset idle_chunk (busy can't change
+                                # inside a no-op run).
+                                if (steps + h - 1) // 8 > steps // 8:
+                                    idle_chunk = 256
+                                self.cycle += h
+                                engine_a.advance_cycles(h)
+                                engine_b.advance_cycles(h)
+                                steps += h
+                                backoff = 0
+                                # The landing step has work by
+                                # construction; don't re-probe it.
+                                defer = 1
+                                continue
+                # Failed attempt: work is imminent, thin out probes.
+                backoff = backoff * 2 if backoff else 1
+                if backoff > 8:
+                    backoff = 8
+                defer = backoff
             # Inlined self.step(): one 250 MHz cycle for both engines.
             cycle = self.cycle + 1
             self.cycle = cycle

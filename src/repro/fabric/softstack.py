@@ -299,6 +299,9 @@ class SoftStack:
         #: 2-host testbed and a million-flow shard cell.
         self._timers: List[Tuple[int, int]] = []
         self.host_messages: Dict[int, Deque[EngineMessage]] = {0: deque()}
+        #: Bumped on every host-queue mutation, mirroring
+        #: ``FtEngine.msg_epoch`` so pollers can skip unchanged queues.
+        self.msg_epoch = 0
         self._listening: Set[int] = set()
         self._accept_queues: Dict[int, Deque[int]] = {}
         self._by_key: Dict[FlowKey, int] = {}
@@ -319,6 +322,7 @@ class SoftStack:
     # ------------------------------------------------------------- plumbing
     def _post(self, kind: str, flow_id: int, value: int = 0) -> None:
         self.host_messages[0].append(EngineMessage(kind, flow_id, value))
+        self.msg_epoch += 1
 
     def _alloc_slot(self) -> int:
         if self._free_slots:
@@ -445,6 +449,7 @@ class SoftStack:
             return []
         drained = list(queue)
         queue.clear()
+        self.msg_epoch += 1
         return drained
 
     # ------------------------------------------------------------ the tick
@@ -873,8 +878,14 @@ class SoftTestbed:
         max_time_s: float = 1.0,
         max_steps: int = 50_000_000,
         wakeup_ps: Optional[Callable[[], Optional[float]]] = None,
+        quiet_cycle: Optional[Callable[[], Optional[int]]] = None,
     ) -> bool:
-        """Event-driven run; the same contract as ``Testbed.run``."""
+        """Event-driven run; the same contract as ``Testbed.run``.
+
+        ``quiet_cycle`` is accepted for signature parity and ignored:
+        this loop is already event-driven, so there are no per-cycle
+        no-op iterations to batch away.
+        """
         max_time_ps = int(max_time_s * 1e12)
         steps = 0
         while True:

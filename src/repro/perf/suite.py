@@ -3,6 +3,9 @@
 Micro benchmarks isolate the three inner loops every exhibit sits on:
 
 * ``kernel.step``      — the two-domain (250/322 MHz) Simulator edge loop;
+* ``kernel.drain``     — the batched counterpart: single-domain
+  ``run_cycles`` chunks lowered to ``ClockDomain.tick_batch`` bulk
+  drains (one ``drain(n)`` per component instead of ``n`` dispatches);
 * ``fpc.event``        — one FPC fed an event per free input slot (§4.2.3's
   one-event-per-2-cycles rate is the workload, not the assertion);
 * ``scheduler.migrate``— a slot-starved scheduler forced to churn
@@ -51,6 +54,67 @@ class KernelStepBenchmark(Benchmark):
         for _ in range(self.steps):
             step()
         return self.steps, sim.time_seconds
+
+
+class KernelDrainBenchmark(Benchmark):
+    """Batch-drain a single-domain Simulator through ``run_cycles``.
+
+    The batched counterpart of ``kernel.step``: every component
+    advertises ``supports_drain``, so each ``run_cycles`` chunk becomes
+    one :meth:`ClockDomain.tick_batch` call — one ``drain(n)`` per
+    component — instead of ``n`` per-cycle dispatch rounds.  Rate is
+    cycles/s; compare against ``kernel.step`` to see what the drain
+    contract buys the inner loop.
+    """
+
+    name = "kernel.drain"
+    events_unit = "cycles"
+
+    def __init__(self, quick: bool = False) -> None:
+        self.cycles = 200_000 if quick else 2_000_000
+        self.chunk = 500
+        self._sim = None
+
+    def setup(self) -> None:
+        from ..sim.component import Component
+        from ..sim.kernel import Simulator
+
+        class Drainable(Component):
+            supports_drain = True
+
+            def __init__(self, name: str, work: int) -> None:
+                super().__init__(name)
+                self.work = work
+
+            def tick(self) -> None:
+                self.cycle += 1
+                if self.work:
+                    self.work -= 1
+
+            def drain(self, n: int) -> None:
+                self.cycle += n
+                if self.work:
+                    self.work = self.work - n if self.work > n else 0
+
+            def busy(self) -> bool:
+                return self.work > 0
+
+        sim = Simulator()
+        sim.add_domain("engine", 250e6)
+        # Work never runs dry inside the measured window, so every
+        # chunk drains busy components (no parked fast-path hiding the
+        # cost being measured).
+        sim.add_component(Drainable("ctrl", self.cycles * 2), "engine")
+        sim.add_component(Drainable("mac", self.cycles * 2), "engine")
+        self._sim = sim
+
+    def run(self) -> Tuple[int, float]:
+        sim = self._sim
+        run_cycles = sim.run_cycles
+        chunk = self.chunk
+        for _ in range(self.cycles // chunk):
+            run_cycles(chunk)
+        return self.cycles, sim.time_seconds
 
 
 class FpcEventBenchmark(Benchmark):
@@ -322,7 +386,7 @@ class MemHierarchyBenchmark(Benchmark):
 
 
 _MICRO = (
-    "kernel.step", "fpc.event", "scheduler.migrate",
+    "kernel.step", "kernel.drain", "fpc.event", "scheduler.migrate",
     "mem.lookup", "mem.hierarchy",
 )
 _MACRO = ("traffic.mixed", "traffic.churn", "fabric.incast.f4t", "shard.churn")
@@ -341,6 +405,8 @@ def build_benchmarks(
     for name in names:
         if name == "kernel.step":
             benches.append(KernelStepBenchmark(quick=quick))
+        elif name == "kernel.drain":
+            benches.append(KernelDrainBenchmark(quick=quick))
         elif name == "fpc.event":
             benches.append(FpcEventBenchmark(quick=quick))
         elif name == "scheduler.migrate":

@@ -52,6 +52,7 @@ from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Set, Union
 
 from .component import Component
+from .schedule import ScheduleTable, compile_schedule, locate_cursor
 
 PS_PER_SECOND = 1_000_000_000_000
 
@@ -157,6 +158,38 @@ class ClockDomain:
         if parked:
             self._rebuild_active()
 
+    def tick_batch(self, n: int) -> None:
+        """Advance ``n`` cycles, draining components in bulk when possible.
+
+        Exactly equivalent to ``n`` :meth:`tick` calls when every
+        unparked component honours the :meth:`Component.drain` contract
+        — no external input can arrive inside the window because
+        nothing else runs while the batch drains, and parking is
+        applied once at the end, which is unobservable since ``wake``
+        only happens between kernel entry points.  Any component
+        without ``supports_drain`` sends the whole batch down the
+        per-cycle path instead, so unconverted components keep their
+        exact tick-by-tick semantics.
+        """
+        if n <= 0:
+            return
+        run = self._active if self._parked else self.components
+        for component in run:
+            if not component.supports_drain:
+                for _ in range(n):
+                    self.tick()
+                return
+        for component in run:
+            component.drain(n)
+        self.cycle += n
+        parked = False
+        for component in run:
+            if not component.busy():
+                self._parked.add(component)
+                parked = True
+        if parked:
+            self._rebuild_active()
+
     def busy(self) -> bool:
         run = self._active if self._parked else self.components
         for component in run:
@@ -187,6 +220,20 @@ class Simulator:
         self.time_ps: int = 0
         #: Lazily-pruned min-heap of future wakeup times (integer ps).
         self._wakeups: List[int] = []
+        #: Compiled edge schedule (see :mod:`repro.sim.schedule`): a
+        #: static table of (domain index, edge offset) slots over one
+        #: LCM window, replacing the per-step min-scan with a cursor.
+        self._table: Optional[ScheduleTable] = None
+        self._table_base_ps = 0
+        self._table_cursor = 0
+        #: True whenever domain cycles moved without the cursor (idle
+        #: skip, bulk run, reset) — the next hot-path entry resyncs.
+        self._table_dirty = True
+        #: Set when compilation fails (degenerate frequency ratio) or a
+        #: resync finds externally-surgeried cycle state the table
+        #: cannot express; the kernel then keeps the legacy scan until
+        #: ``reset``/``add_domain`` re-arm compilation.
+        self._table_broken = False
 
     def add_domain(self, name: str, freq_hz: float) -> ClockDomain:
         if name in self.domains:
@@ -194,7 +241,38 @@ class Simulator:
         domain = ClockDomain(name, freq_hz)
         self.domains[name] = domain
         self._domain_list.append(domain)
+        self._table = None
+        self._table_dirty = True
+        self._table_broken = False
         return domain
+
+    def _table_sync(self) -> bool:
+        """(Re)align the schedule-table cursor with the domains' cycles.
+
+        Returns True when the table-driven path may run.  Compilation
+        happens once per domain set; resync after a cycle jump is a
+        cursor search plus a per-domain count check.  Any failure
+        degrades permanently (until reset/add_domain) to the legacy
+        scan — the table is an optimization, never a semantic change.
+        """
+        if self._table_broken:
+            return False
+        if not self._table_dirty:
+            return True
+        table = self._table
+        if table is None:
+            table = compile_schedule(self._domain_list)
+            if table is None:
+                self._table_broken = True
+                return False
+            self._table = table
+        pos = locate_cursor(table, self._domain_list)
+        if pos is None:
+            self._table_broken = True
+            return False
+        self._table_base_ps, self._table_cursor = pos
+        self._table_dirty = False
+        return True
 
     def add_component(self, component: Component, domain: str) -> None:
         self.domains[domain].add(component)
@@ -223,9 +301,12 @@ class Simulator:
         t = time_ps if isinstance(time_ps, int) else math.ceil(time_ps)
         heap = self._wakeups
         now = self.time_ps
-        while heap and heap[0] <= now:
+        while heap and heap[0] < now:
             heapq.heappop(heap)
-        if t > now:
+        if t >= now:
+            # A wakeup at exactly *now* is kept: work that becomes ready
+            # at the current instant must still wake an idle run (the
+            # next idle check fires it and the following step runs it).
             heapq.heappush(heap, t)
 
     @property
@@ -247,11 +328,26 @@ class Simulator:
     def step(self) -> None:
         """Advance global time to the earliest next clock edge and tick it.
 
-        Simultaneous edges tie-break by domain registration order.
+        Simultaneous edges tie-break by domain registration order.  The
+        normal path reads the next (domain, edge time) pair straight
+        from the compiled schedule table — two array indexes — instead
+        of re-deriving the interleaving with a rational-arithmetic scan
+        over every domain; the scan remains as the fallback whenever no
+        table applies.
         """
         domains = self._domain_list
         if not domains:
             raise RuntimeError("no clock domains registered")
+        if self._table_sync():
+            table = self._table
+            cur = self._table_cursor
+            if cur == table.slots:
+                self._table_base_ps += table.window_ps
+                cur = 0
+            self.time_ps = self._table_base_ps + table.slot_offset_ps[cur]
+            self._table_cursor = cur + 1
+            domains[table.slot_domain[cur]].tick()
+            return
         best = domains[0]
         best_edge = best.edge_ps(best.cycle + 1)
         for i in range(1, len(domains)):
@@ -277,10 +373,34 @@ class Simulator:
         d = self.domains[domain]
         target = d.cycle + n
         if len(self.domains) == 1:
-            tick = d.tick
-            for _ in range(n):
-                tick()
+            # Batch-drain when every component supports it; falls back
+            # to the per-cycle tick loop inside.  Cycles moved without
+            # the cursor, so the table resyncs on next use.
+            d.tick_batch(n)
             self.time_ps = d.edge_ps(d.cycle)
+            self._table_dirty = True
+            return
+        if self._table_sync():
+            # Multi-domain: walk the compiled slot table directly
+            # instead of re-scanning every domain per edge via step().
+            table = self._table
+            slots = table.slots
+            slot_domain = table.slot_domain
+            slot_offset = table.slot_offset_ps
+            window = table.window_ps
+            base = self._table_base_ps
+            cur = self._table_cursor
+            domains = self._domain_list
+            while d.cycle < target:
+                if cur == slots:
+                    base += window
+                    cur = 0
+                self.time_ps = base + slot_offset[cur]
+                nxt = domains[slot_domain[cur]]
+                cur += 1
+                nxt.tick()
+            self._table_base_ps = base
+            self._table_cursor = cur
             return
         while d.cycle < target:
             self.step()
@@ -320,28 +440,62 @@ class Simulator:
     def _skip_to_next_wakeup(
         self, max_time_ps: Optional[Union[int, float]]
     ) -> bool:
+        """Jump an all-idle simulation to its next scheduled wakeup.
+
+        Returns True when the caller should keep stepping (a wakeup was
+        reached, or fired at the current instant), False when the run is
+        over — no wakeup pending, or the next one lies at/past
+        ``max_time_ps``.  In the clamped case time lands exactly on
+        ``ceil(max_time_ps)`` with every domain on its last edge
+        strictly before it and nothing woken: no edge at or past the
+        bound is ever ticked on the idle path, and a later run resumes
+        by crossing the first edge at or after the bound.
+        """
         heap = self._wakeups
         now = self.time_ps
-        while heap and heap[0] <= now:
+        while heap and heap[0] < now:
             heapq.heappop(heap)
         if not heap:
             return False
         target = heap[0]
+        if target <= now:
+            # Work became ready at exactly the current instant: consume
+            # the entry (and duplicates), wake everything, and let the
+            # caller's next step() run the first following edge.
+            while heap and heap[0] <= now:
+                heapq.heappop(heap)
+            for domain in self._domain_list:
+                domain.wake()
+            return True
         if max_time_ps is not None:
             bound = math.ceil(max_time_ps)
-            if bound < target:
-                target = bound
-        if target <= now:
-            return True
+            if bound <= target:
+                # The wakeup is outside this run's window.  Land on the
+                # bound without waking or ticking anything; the wakeup
+                # stays queued for a later, longer run.
+                for domain in self._domain_list:
+                    k = domain.last_cycle_before(bound)
+                    if k > domain.cycle:
+                        domain.cycle = k
+                self._table_dirty = True
+                if bound > self.time_ps:
+                    self.time_ps = bound
+                return False
         # Land every domain on its last edge strictly before the target,
         # so the next step() ticks the first edge at or after it: a
-        # wakeup scheduled exactly on an edge fires ON that edge.
+        # wakeup scheduled exactly on an edge fires ON that edge.  The
+        # served entry (and duplicates) is consumed here — pruning no
+        # longer drops entries at the current time, so leaving it would
+        # re-fire it on the next idle check.
+        while heap and heap[0] <= target:
+            heapq.heappop(heap)
         for domain in self._domain_list:
             k = domain.last_cycle_before(target)
             if k > domain.cycle:
                 domain.cycle = k
             # Whatever was parked may receive work at the wakeup.
             domain.wake()
+        self._table_dirty = True
         if target > self.time_ps:
             self.time_ps = target
         return True
@@ -354,7 +508,36 @@ class Simulator:
         at or after it — the same landing contract as a scheduled
         wakeup.  This is the primitive sharded runs slice time with:
         a bounded window of simulation with an exact, replayable stop.
+
+        The slot table makes the slice loop a cursor walk with one
+        integer compare per edge; slicing stays cycle-exact because the
+        table reproduces the scan's edge order (including the
+        registration-order tie-break), so lockstep epochs tick the same
+        edges in the same order as an unsliced run.
         """
+        if self._table_sync():
+            table = self._table
+            slots = table.slots
+            slot_domain = table.slot_domain
+            slot_offset = table.slot_offset_ps
+            window = table.window_ps
+            base = self._table_base_ps
+            cur = self._table_cursor
+            domains = self._domain_list
+            while True:
+                if cur == slots:
+                    base += window
+                    cur = 0
+                t = base + slot_offset[cur]
+                if t >= deadline_ps:
+                    break
+                self.time_ps = t
+                nxt = domains[slot_domain[cur]]
+                cur += 1
+                nxt.tick()
+            self._table_base_ps = base
+            self._table_cursor = cur
+            return
         while True:
             best = self._earliest_domain()
             if best.edge_ps(best.cycle + 1) >= deadline_ps:
@@ -390,5 +573,11 @@ class Simulator:
     def reset(self) -> None:
         self.time_ps = 0
         self._wakeups.clear()
+        # The compiled table stays valid (same domains); only the
+        # cursor must resync, and a broken table gets a fresh chance.
+        self._table_base_ps = 0
+        self._table_cursor = 0
+        self._table_dirty = True
+        self._table_broken = False
         for domain in self._domain_list:
             domain.reset()

@@ -68,6 +68,17 @@ class Pipeline(Generic[T, R]):
         self.issued += 1
         return True
 
+    def next_retire_cycle(self) -> Optional[int]:
+        """First cycle at which :meth:`retire_ready` would pop something.
+
+        None while empty.  Batch schedulers use this as a work horizon:
+        every cycle strictly before it is a guaranteed no-op for the
+        pipeline, so a drain may skip straight to it.
+        """
+        if not self._in_flight:
+            return None
+        return self._in_flight[0][0] + self.latency
+
     def retire_ready(self, cycle: int) -> List[R]:
         """Pop every item whose latency has elapsed by ``cycle``.
 

@@ -167,8 +167,8 @@ class TestCompare:
 class TestSuite:
     def test_available_names(self):
         names = available_benchmarks()
-        assert {"kernel.step", "fpc.event", "scheduler.migrate",
-                "mem.lookup", "mem.hierarchy",
+        assert {"kernel.step", "kernel.drain", "fpc.event",
+                "scheduler.migrate", "mem.lookup", "mem.hierarchy",
                 "traffic.mixed", "traffic.churn",
                 "fabric.incast.f4t", "shard.churn"} == set(names)
 

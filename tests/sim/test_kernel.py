@@ -264,6 +264,117 @@ class TestWakeupHeapBounded:
         assert sim._wakeups[0] == 300_000
 
 
+class TestWakeupAtNowRegression:
+    """A wakeup scheduled at exactly the current time must not be lost.
+
+    ``schedule_wakeup`` used to push only strictly-future times and
+    ``_skip_to_next_wakeup`` popped entries ``<= now``, so an all-idle
+    engine that scheduled work "now" never woke: ``run_until`` returned
+    False spuriously even though work was ready on the next edge.
+    """
+
+    def test_wakeup_at_now_kept_on_insert(self):
+        sim = Simulator()
+        sim.add_domain("main", 250e6)
+        sim.add_component(TickCounter(), "main")
+        sim.run_cycles(10)
+        sim.schedule_wakeup(sim.time_ps)
+        assert sim._wakeups == [sim.time_ps]
+
+    def test_idle_engine_scheduling_now_wakes_and_continues(self):
+        sim = Simulator()
+        sim.add_domain("main", 250e6)
+        idle = TickCounter(busy_flag=False)
+        sim.add_component(idle, "main")
+        sim.run_cycles(10)  # parks idle after its first tick
+        assert idle.ticks == 1
+        # Work becomes ready at exactly the current instant (e.g. a
+        # message posted by the other side of a barrier at this time).
+        sim.schedule_wakeup(sim.time_ps)
+        assert sim.run_until(lambda: idle.ticks >= 2, max_time_ps=1e6)
+        # The woken component runs on the very next edge, not never.
+        assert idle.ticks == 2
+        assert sim.time_ps == 44_000
+
+    def test_at_now_entry_consumed_not_leaked(self):
+        sim = Simulator()
+        sim.add_domain("main", 250e6)
+        idle = TickCounter(busy_flag=False)
+        sim.add_component(idle, "main")
+        sim.run_cycles(4)
+        sim.schedule_wakeup(sim.time_ps)
+        sim.schedule_wakeup(sim.time_ps)  # duplicates collapse on fire
+        sim.run_until(lambda: idle.ticks >= 2, max_time_ps=1e6)
+        assert sim._wakeups == []
+
+
+class TestClampedBoundaryRegression:
+    """``max_time_ps`` clamping the idle-skip must not overshoot.
+
+    The old clamped path woke every parked domain and landed cycles just
+    before the bound, then ``run_until``'s unconditional ``step()``
+    ticked the first edge at-or-past the bound before the top-of-loop
+    check could stop the run.  The contract now: the clamped path lands
+    ``time_ps`` exactly on ``ceil(max_time_ps)``, ticks nothing, wakes
+    nothing, and ``run_until`` returns False with every domain on its
+    last edge strictly before the bound (so a later run resumes by
+    crossing the first edge at or after it).
+    """
+
+    def test_clamped_skip_does_not_tick_past_bound(self):
+        sim = Simulator()
+        sim.add_domain("main", 250e6)
+        idle = TickCounter(busy_flag=False)
+        sim.add_component(idle, "main")
+        sim.run_cycles(1)  # parks idle; time_ps == 4000
+        sim.schedule_wakeup(10**9)  # real wakeup far beyond the bound
+        assert not sim.run_until(lambda: False, max_time_ps=499_000)
+        assert sim.time_ps == 499_000  # old kernel: 500_000
+        assert idle.ticks == 1  # old kernel: 2 (edge past the bound)
+        # Landing contract: next step crosses the first edge >= bound.
+        assert sim.domains["main"].cycle == 124
+        assert sim.domains["main"].next_edge_ps == 500_000
+        # The out-of-bound wakeup survives for a later, longer run.
+        assert sim._wakeups[0] == 10**9
+
+    def test_clamped_skip_leaves_components_parked(self):
+        sim = Simulator()
+        sim.add_domain("main", 250e6)
+        idle = TickCounter(busy_flag=False)
+        sim.add_component(idle, "main")
+        sim.run_cycles(1)
+        parked_before = set(sim.domains["main"]._parked)
+        sim.schedule_wakeup(10**9)
+        sim.run_until(lambda: False, max_time_ps=499_000)
+        assert set(sim.domains["main"]._parked) == parked_before
+
+    def test_wakeup_exactly_on_bound_is_clamped(self):
+        # A wakeup at exactly ceil(max_time_ps) is outside the run's
+        # half-open window: land on the bound, do not fire it.
+        sim = Simulator()
+        sim.add_domain("main", 250e6)
+        idle = TickCounter(busy_flag=False)
+        sim.add_component(idle, "main")
+        sim.run_cycles(1)
+        sim.schedule_wakeup(500_000)
+        assert not sim.run_until(lambda: False, max_time_ps=500_000)
+        assert sim.time_ps == 500_000
+        assert idle.ticks == 1
+        assert sim._wakeups[0] == 500_000
+
+    def test_resumed_run_fires_the_clamped_wakeup(self):
+        sim = Simulator()
+        sim.add_domain("main", 250e6)
+        idle = TickCounter(busy_flag=False)
+        sim.add_component(idle, "main")
+        sim.run_cycles(1)
+        sim.schedule_wakeup(10**6)
+        assert not sim.run_until(lambda: False, max_time_ps=499_000)
+        # A later run with a wider bound picks the wakeup back up.
+        assert sim.run_until(lambda: idle.ticks >= 2, max_time_ps=2e6)
+        assert sim.time_ps == 10**6  # 1 us is exactly edge 250
+
+
 class TestRunCyclesMatchesStepping:
     """Satellite 3: the single-domain fast path recomputed time in float."""
 
